@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper artefact and prints the same
+rows/series the paper reports (paper-reference values included), so a
+``pytest benchmarks/ --benchmark-only`` run doubles as the full
+reproduction report.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SCALE`` — functional-experiment scale for the Fig. 7
+  benches: ``smoke`` (default, seconds) or ``default`` (a minute or
+  two) or ``paper`` (hours; the honest full geometry).
+* ``REPRO_BENCH_IMAGES`` — timing-only images per measurement
+  (default 160).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "smoke"),
+        help="functional experiment scale: smoke | default | paper")
+
+
+@pytest.fixture(scope="session")
+def repro_scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def timing_images():
+    return int(os.environ.get("REPRO_BENCH_IMAGES", "160"))
+
+
+def emit(text: str) -> None:
+    """Print a reproduction table under the benchmark output."""
+    print()
+    print(text)

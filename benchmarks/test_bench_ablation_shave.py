@@ -1,0 +1,38 @@
+"""Ablation — SHAVE count scaling on one chip.
+
+The multi-stick scaling of Fig. 6b is between devices; this ablation
+sweeps the *intra-chip* parallelism the NCSDK exposes: compiling the
+paper-scale GoogLeNet for 1-12 SHAVEs.  Scaling is strong but
+sub-linear (row-split imbalance on small late layers plus the serial
+dispatch path), which is exactly why a 12-SHAVE chip still needs
+~100 ms per inference.
+"""
+
+from conftest import emit
+from repro.harness.experiment import paper_timing_network
+from repro.vpu import compile_graph
+
+
+def _sweep():
+    net = paper_timing_network()
+    return {s: compile_graph(net, num_shaves=s).inference_seconds
+            for s in (1, 2, 4, 6, 8, 12)}
+
+
+def test_bench_ablation_shave(benchmark):
+    times = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = ["SHAVE scaling ablation (paper-scale GoogLeNet, on-chip "
+             "ms/inference):"]
+    for s, t in times.items():
+        speedup = times[1] / t
+        lines.append(f"  {s:2d} SHAVEs: {t * 1000:8.1f} ms  "
+                     f"(speedup {speedup:5.2f}x, efficiency "
+                     f"{speedup / s:4.2f})")
+    emit("\n".join(lines))
+
+    # Monotone improvement with diminishing efficiency.
+    ts = list(times.values())
+    assert all(a > b for a, b in zip(ts, ts[1:]))
+    speedup12 = times[1] / times[12]
+    assert 6 < speedup12 < 12
+    assert times[1] / times[2] > 1.6  # early doublings near-ideal

@@ -1,0 +1,32 @@
+"""Fig. 6a — inference throughput per subset (batch 8).
+
+Regenerates the paper's grouped bars: CPU / GPU / 8-stick multi-VPU
+throughput on each of the five validation subsets, at batch size 8.
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.harness import (
+    bar_chart,
+    fig6a_throughput_per_subset,
+    render_figure_table,
+)
+
+
+def test_bench_fig6a(benchmark, timing_images):
+    result = benchmark.pedantic(
+        fig6a_throughput_per_subset,
+        kwargs={"images_per_subset": timing_images},
+        rounds=1, iterations=1)
+    emit(render_figure_table(result))
+    emit(bar_chart(result))
+
+    cpu = float(np.mean(result.by_label("cpu").y))
+    gpu = float(np.mean(result.by_label("gpu").y))
+    vpu = float(np.mean(result.by_label("vpu").y))
+    # Paper shape: multi-VPU ~ GPU, both well ahead of CPU.
+    assert vpu > gpu > cpu
+    assert abs(cpu - 44.0) / 44.0 < 0.08
+    assert abs(gpu - 74.2) / 74.2 < 0.08
+    assert abs(vpu - 77.2) / 77.2 < 0.08

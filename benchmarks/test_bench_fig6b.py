@@ -1,0 +1,32 @@
+"""Fig. 6b — normalized performance scaling per batch size.
+
+The paper's key scaling claim: the multi-VPU rig scales almost ideally
+with the number of active sticks (~7.8x at 8), the CPU barely moves
+(1.1x) and the GPU lands at 1.9x.
+"""
+
+from conftest import emit
+from repro.harness import (
+    fig6b_normalized_scaling,
+    line_chart,
+    render_figure_table,
+)
+
+
+def test_bench_fig6b(benchmark, timing_images):
+    result = benchmark.pedantic(
+        fig6b_normalized_scaling,
+        kwargs={"images": timing_images},
+        rounds=1, iterations=1)
+    emit(render_figure_table(result))
+    emit(line_chart(result))
+
+    vpu = result.by_label("vpu").y
+    cpu = result.by_label("cpu").y
+    gpu = result.by_label("gpu").y
+    assert 7.3 < vpu[-1] < 8.0      # near-ideal, small penalty
+    assert 1.05 < cpu[-1] < 1.25    # "barely affected"
+    assert 1.7 < gpu[-1] < 2.1      # "improves only 92.5%"
+    # Halving behaviour: each doubling of sticks ~halves per-image time.
+    assert vpu[1] / vpu[0] > 1.9
+    assert vpu[2] / vpu[1] > 1.9

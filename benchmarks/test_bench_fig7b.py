@@ -1,0 +1,26 @@
+"""Fig. 7b — absolute confidence difference per subset.
+
+After filtering to images both precisions classify correctly, the mean
+|confidence_FP32 - confidence_FP16| stays well under a percent (paper:
+0.44 % on average).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.harness import (
+    fig7b_confidence_difference,
+    render_figure_table,
+)
+
+
+def test_bench_fig7b(benchmark, repro_scale):
+    result = benchmark.pedantic(
+        fig7b_confidence_difference,
+        kwargs={"scale": repro_scale},
+        rounds=1, iterations=1)
+    emit(render_figure_table(result))
+
+    diffs = np.array(result.series[0].y)
+    assert np.all(diffs > 0)        # FP16 rounding is visible...
+    assert np.all(diffs < 0.02)     # ...but well under a percent-ish

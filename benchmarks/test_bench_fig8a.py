@@ -1,0 +1,31 @@
+"""Fig. 8a — throughput per Watt (Eq. 1) per batch size.
+
+The paper's efficiency claim: the VPU configuration delivers over 3x
+more images per Watt than either baseline at every batch size
+(3.97 img/W single stick vs 0.55 CPU and 0.93 GPU at batch 8).
+"""
+
+from conftest import emit
+from repro.harness import (
+    fig8a_throughput_per_watt,
+    line_chart,
+    render_figure_table,
+)
+
+
+def test_bench_fig8a(benchmark, timing_images):
+    result = benchmark.pedantic(
+        fig8a_throughput_per_watt,
+        kwargs={"images": timing_images},
+        rounds=1, iterations=1)
+    emit(render_figure_table(result))
+    emit(line_chart(result))
+
+    cpu = result.by_label("cpu").y
+    gpu = result.by_label("gpu").y
+    vpu = result.by_label("vpu").y
+    for b in range(4):
+        assert vpu[b] > 3 * max(cpu[b], gpu[b])  # "over 3x higher"
+    assert abs(vpu[0] - 3.97) / 3.97 < 0.05
+    assert abs(cpu[-1] - 0.55) / 0.55 < 0.05
+    assert abs(gpu[-1] - 0.93) / 0.93 < 0.05

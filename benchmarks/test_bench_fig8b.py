@@ -1,0 +1,35 @@
+"""Fig. 8b — projected inference performance per batch size (1-16).
+
+CPU and GPU plateau (44.5 / 79.9 img/s); the multi-VPU series keeps
+near-ideal scaling and its projection reaches 153 img/s at 16 sticks —
+3.4x the CPU and 1.9x the GPU.
+"""
+
+from conftest import emit
+from repro.harness import (
+    fig8b_projected_throughput,
+    line_chart,
+    render_figure_table,
+)
+
+
+def test_bench_fig8b(benchmark, timing_images):
+    result = benchmark.pedantic(
+        fig8b_projected_throughput,
+        kwargs={"images": timing_images},
+        rounds=1, iterations=1)
+    emit(render_figure_table(result))
+    emit(line_chart(result))
+
+    cpu = result.by_label("cpu").y
+    gpu = result.by_label("gpu").y
+    vpu = result.by_label("vpu").y
+    # Plateaus.
+    assert abs(cpu[-1] - 44.5) / 44.5 < 0.05
+    assert abs(gpu[-1] - 79.9) / 79.9 < 0.05
+    # Projection and crossovers.
+    assert abs(vpu[-1] - 153.0) / 153.0 < 0.05
+    assert vpu[0] < min(cpu[0], gpu[0])   # slow at batch 1
+    assert vpu[3] > gpu[3]                 # crossover by batch 8
+    assert 3.2 < vpu[-1] / cpu[-1] < 3.7   # paper: 3.4x
+    assert 1.75 < vpu[-1] / gpu[-1] < 2.1  # paper: 1.9x

@@ -1,0 +1,32 @@
+"""Headline table — every §IV/§V number in one paper-vs-measured table.
+
+Covers the abstract's claims: single-input latencies, batch-8
+throughputs, the 40.7 % CPU gap, the 4x single-chip slowdown, the TDP
+reduction factors and the img/W figures.
+"""
+
+from conftest import emit
+from repro.harness import headline_table, render_comparison
+
+
+def test_bench_headline(benchmark, timing_images):
+    rows = benchmark.pedantic(
+        headline_table,
+        kwargs={"images": timing_images, "error_scale": None},
+        rounds=1, iterations=1)
+    emit(render_comparison(rows, title="headline: paper vs measured"))
+
+    by = {name: (paper, measured) for name, paper, measured in rows}
+    for metric, rel_tol in [
+        ("cpu_single_ms", 0.05), ("gpu_single_ms", 0.05),
+        ("vpu_single_ms", 0.03), ("cpu_batch8_img_s", 0.05),
+        ("gpu_batch8_img_s", 0.05), ("vpu_batch8_img_s", 0.05),
+        ("vpu_img_per_watt", 0.05), ("cpu_img_per_watt", 0.05),
+        ("gpu_img_per_watt", 0.05),
+    ]:
+        paper, measured = by[metric]
+        assert abs(measured - paper) / paper < rel_tol, metric
+    # The "up to 8x" TDP headline brackets between the stick-level
+    # (4x) and chip-level (11x) reduction factors.
+    assert by["tdp_reduction_sticks"][1] < 8 < \
+        by["tdp_reduction_chips"][1]

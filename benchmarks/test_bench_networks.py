@@ -1,0 +1,48 @@
+"""Related-work bench — CNN comparison on the stick (Dexmont et al.).
+
+The paper cites Pena/Dexmont et al.'s "Benchmarking of CNNs for
+low-cost, low-power robotics applications" (RSS'17 workshop), which
+runs several CNNs on the NCS.  This bench reproduces that comparison
+for the two networks in our zoo: GoogLeNet (compute-heavy, tiny
+weights) vs AlexNet (light compute, 61M parameters that must stream
+from DDR) — showing the stick favours GoogLeNet-style architectures,
+as the robotics study found.
+"""
+
+from conftest import emit
+from repro.harness.experiment import paper_timing_graph
+from repro.nn import get_model
+from repro.vpu import compile_graph
+
+
+def _compile_both():
+    return {
+        "googlenet": paper_timing_graph(),
+        "alexnet": compile_graph(get_model("alexnet")),
+    }
+
+
+def test_bench_networks(benchmark):
+    graphs = benchmark.pedantic(_compile_both, rounds=1, iterations=1)
+    lines = ["CNN comparison on one simulated NCS (per-inference):",
+             f"  {'network':<10} {'ms':>8} {'MMACs':>8} "
+             f"{'weights':>9} {'DDR-spilled layers':>19}"]
+    for name, g in graphs.items():
+        spilled = sum(1 for l in g.layers if not l.tile_plan.fits_cmx)
+        macs = sum(l.macs for l in g.layers)
+        lines.append(
+            f"  {name:<10} {g.inference_seconds * 1000:>8.1f} "
+            f"{macs / 1e6:>8.0f} {g.weight_bytes_total / 1e6:>7.1f}MB "
+            f"{spilled:>10}/{len(g.layers)}")
+    emit("\n".join(lines))
+
+    gnet, anet = graphs["googlenet"], graphs["alexnet"]
+    # AlexNet does ~2.2x fewer MACs...
+    assert sum(l.macs for l in gnet.layers) > \
+        1.8 * sum(l.macs for l in anet.layers)
+    # ...but carries ~8x the weights, which must stream from DDR...
+    assert anet.weight_bytes_total > 7 * gnet.weight_bytes_total
+    # ...so its latency advantage is much smaller than the MAC ratio
+    # (the memory wall the robotics benchmarking study observed).
+    ratio = gnet.inference_seconds / anet.inference_seconds
+    assert 1.0 < ratio < 2.2

@@ -1,0 +1,31 @@
+"""Sensitivity bench — which substrate parameters the results lean on.
+
+Perturbs DDR bandwidth, clock frequency, USB bandwidth and SHAVE count
+by 0.5x/2x and reports elasticities of the headline quantities, so a
+reader can judge the conclusions' robustness to the calibration.
+"""
+
+from conftest import emit
+from repro.harness.sensitivity import (
+    elasticity,
+    render_sensitivity,
+    sensitivity_analysis,
+)
+
+
+def test_bench_sensitivity(benchmark):
+    rows = benchmark.pedantic(sensitivity_analysis, rounds=1,
+                              iterations=1)
+    emit(render_sensitivity(rows))
+
+    # Clock frequency dominates: latency ~ 1/f (elasticity near -1).
+    assert -1.1 < elasticity(rows, "clock_frequency") < -0.7
+    # SHAVE count matters strongly but sub-linearly.
+    assert -1.0 < elasticity(rows, "shave_count") < -0.5
+    # USB bandwidth barely moves the needle (transfers are ~1% of the
+    # inference) — the conclusion is robust to the USB model.
+    assert abs(elasticity(rows, "usb_bandwidth")) < 0.05
+    # DDR bandwidth touches only the spilled early layers: small but
+    # directionally correct (more bandwidth, less latency).
+    ddr = elasticity(rows, "ddr_bandwidth")
+    assert -0.3 < ddr <= 0.0

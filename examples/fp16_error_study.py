@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""FP16 vs FP32 precision study — the paper's Fig. 7 scenario.
+
+Builds the calibrated synthetic ILSVRC validation set (top-1 error
+tuned to the paper's ~32 %), runs every subset through the CPU (FP32)
+and the multi-VPU rig (FP16) *functionally*, and reports:
+
+* top-1 error per subset for both precisions (Fig. 7a);
+* the mean absolute confidence difference over images both precisions
+  classify correctly (Fig. 7b);
+* a per-image ULP/rounding analysis of where FP16 drift comes from.
+
+Run:  python examples/fp16_error_study.py          (default scale)
+      REPRO_SCALE=smoke python examples/fp16_error_study.py
+"""
+
+import os
+
+import numpy as np
+
+from repro.harness import (
+    fig7a_top1_error,
+    fig7b_confidence_difference,
+    get_context,
+    render_figure_table,
+)
+from repro.numerics import PrecisionPolicy, ulp_distance
+
+
+def main() -> None:
+    scale = os.environ.get("REPRO_SCALE", "default")
+    ctx = get_context(scale)
+    print(f"scale: {scale} ({ctx.scale.model}, "
+          f"{ctx.scale.images_per_subset} images/subset, "
+          f"noise sigma {ctx.calibration.noise_sigma:.2f} calibrated "
+          f"to {ctx.calibration.target_error:.0%} top-1 error)")
+
+    print()
+    print("=" * 70)
+    print("Fig. 7a — top-1 error per subset (FP32 vs FP16)")
+    print("=" * 70)
+    fig7a = fig7a_top1_error(scale=scale)
+    print(render_figure_table(fig7a))
+    cpu = np.mean(fig7a.by_label("cpu_fp32").y)
+    vpu = np.mean(fig7a.by_label("vpu_fp16").y)
+    print(f"\n  mean error: FP32 {cpu:.4f} vs FP16 {vpu:.4f} "
+          f"(delta {abs(cpu - vpu):.4f}; paper: 0.3201 vs 0.3192)")
+
+    print()
+    print("=" * 70)
+    print("Fig. 7b — confidence difference per subset")
+    print("=" * 70)
+    fig7b = fig7b_confidence_difference(scale=scale)
+    print(render_figure_table(fig7b))
+    print(f"\n  mean |conf_FP32 - conf_FP16| = "
+          f"{np.mean(fig7b.series[0].y):.4f} (paper: 0.0044)")
+
+    # Where does the drift come from? Push one image through both
+    # precisions and look at the output distribution in ULP terms.
+    print()
+    print("=" * 70)
+    print("Rounding drill-down on one validation image")
+    print("=" * 70)
+    x = ctx.preprocessor(ctx.dataset.pixels(1))[None]
+    p32 = ctx.network.forward(x, PrecisionPolicy.fp32()).ravel()
+    p16 = ctx.network.forward(x, PrecisionPolicy.fp16()).ravel()
+    ulps = ulp_distance(p32, p16, dtype=np.float16)
+    print(f"  softmax outputs ({p32.size} classes):")
+    print(f"    max |p32 - p16|   = {np.abs(p32 - p16).max():.3e}")
+    print(f"    median ULP dist   = {int(np.median(ulps))}")
+    print(f"    max ULP dist      = {int(ulps.max())}")
+    print(f"    argmax agreement  = "
+          f"{'yes' if p32.argmax() == p16.argmax() else 'NO'}")
+
+
+if __name__ == "__main__":
+    main()

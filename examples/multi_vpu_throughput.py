@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-VPU throughput study — the paper's Fig. 6 scenario.
+
+Drives the paper-scale GoogLeNet through all three targets at batch 8,
+sweeps the batch size with the VPU count coupled to it (Fig. 6b), and
+prints the same tables/plots the paper's performance section shows.
+
+Everything here is the *timing* plane: the compiled paper-scale graph
+runs through the full platform simulation (USB topology, RISC
+scheduler, SHAVE array) in non-functional mode, so the simulated clock
+is the measurement.
+
+Run:  python examples/multi_vpu_throughput.py
+"""
+
+from repro.harness import (
+    bar_chart,
+    fig6a_throughput_per_subset,
+    fig6b_normalized_scaling,
+    line_chart,
+    render_figure_table,
+)
+from repro.harness.experiment import paper_timing_graph
+from repro.ncsw import IntelVPU, NCSw, SyntheticSource
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Fig. 6a — throughput per subset (batch 8, 8 NCS devices)")
+    print("=" * 70)
+    fig6a = fig6a_throughput_per_subset(images_per_subset=160)
+    print(render_figure_table(fig6a))
+    print()
+    print(bar_chart(fig6a))
+
+    print()
+    print("=" * 70)
+    print("Fig. 6b — normalized scaling (VPU count coupled to batch)")
+    print("=" * 70)
+    fig6b = fig6b_normalized_scaling(images=160)
+    print(render_figure_table(fig6b))
+    print()
+    print(line_chart(fig6b))
+
+    # Bonus: stick-count sweep at fixed batch, showing the near-ideal
+    # halving of per-inference time the paper reports.
+    print()
+    print("=" * 70)
+    print("Stick sweep — per-image latency vs number of NCS devices")
+    print("=" * 70)
+    fw = NCSw()
+    fw.add_source("s", SyntheticSource(160))
+    graph = paper_timing_graph()
+    for n in (1, 2, 4, 8):
+        fw.add_target(f"vpu{n}", IntelVPU(graph=graph, num_devices=n,
+                                          functional=False))
+    base = None
+    for n in (1, 2, 4, 8):
+        run = fw.run("s", f"vpu{n}", batch_size=n)
+        ms = run.seconds_per_image() * 1000
+        base = base or ms
+        print(f"  {n} device(s): {ms:7.2f} ms/image   "
+              f"speedup {base / ms:4.2f}x   "
+              f"({run.throughput():6.2f} img/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Quickstart: classify images on one simulated Neural Compute Stick.
+
+The shortest end-to-end path through the library, mirroring the
+paper's Listing 1:
+
+1. build a GoogLeNet-topology network and install the synthetic
+   pre-trained weights;
+2. compile it for the Myriad 2 (the ``mvNCCompile`` step);
+3. attach one NCS to a simulated USB topology, boot it and allocate
+   the graph (NCAPI);
+4. ``load_tensor`` / ``get_result`` a few validation images and print
+   the predictions with their synsets;
+5. print the per-layer timing report (the ``mvNCProfile`` view).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data import ImageSynthesizer, Preprocessor, SynsetVocabulary
+from repro.ncs import NCAPI, USBTopology
+from repro.nn import get_model
+from repro.nn.weights import WeightStore
+from repro.sim import Environment
+from repro.vpu import compile_graph
+from repro.vpu.compiler import per_layer_report
+
+NUM_CLASSES = 50
+NUM_IMAGES = 8
+
+
+def main() -> None:
+    # --- model + synthetic "pre-trained" weights ----------------------
+    net = get_model("googlenet-mini")  # full topology, 64px geometry
+    vocab = SynsetVocabulary(num_classes=NUM_CLASSES)
+    synth = ImageSynthesizer(num_classes=NUM_CLASSES, size=96,
+                             noise_sigma=20.0)
+    preprocess = Preprocessor(input_size=64)
+    WeightStore(seed=0).pretrain(
+        net, lambda c: preprocess(synth.template(c)),
+        num_classes=NUM_CLASSES)
+
+    # --- compile for the VPU (mvNCCompile) -----------------------------
+    graph = compile_graph(net)
+    blob = graph.to_bytes()
+    print(f"compiled {graph.name}: {len(graph.layers)} layers, "
+          f"{graph.weight_bytes_total / 1e6:.2f} MB FP16 weights, "
+          f"estimated {graph.inference_seconds * 1000:.2f} ms/inference "
+          f"on-chip")
+
+    # --- one stick on the simulated bus (NCAPI) -------------------------
+    env = Environment()
+    topology = USBTopology(env)
+    topology.attach_device("ncs0")
+    api = NCAPI(env, topology, functional=True)
+
+    def host():
+        device = yield api.open_device(0)
+        print(f"opened {device.device_id} "
+              f"(boot at t={env.now * 1000:.0f} ms)")
+        handle = yield device.allocate_graph(blob)
+
+        # Listing-1 pattern: non-blocking load, blocking get.
+        expected = []
+        for i in range(NUM_IMAGES):
+            label = i % NUM_CLASSES
+            tensor = preprocess(synth.sample(label, image_id=1000 + i))
+            expected.append(label)
+            yield handle.load_tensor(tensor, user=label)
+            result, true_label = yield handle.get_result()
+            flat = result.astype("float32").ravel()
+            pred = int(flat.argmax())
+            mark = "ok " if pred == true_label else "MISS"
+            print(f"  [{mark}] image {i}: predicted "
+                  f"{vocab[pred].name!r} ({flat[pred]:.2f} conf), "
+                  f"truth {vocab[true_label].name!r}")
+        times = handle.time_taken()
+        print(f"device inference time: "
+              f"{1000 * sum(times) / len(times):.2f} ms/image "
+              f"(simulated)")
+
+    env.run(until=env.process(host()))
+
+    # --- per-layer profile (mvNCProfile) -----------------------------------
+    print("\nper-layer timing (top 8):")
+    print(per_layer_report(graph, top=8))
+
+    # --- the same flow through the synchronous facade ------------------------
+    # For scripts that don't need the event-driven overlap patterns,
+    # SyncSession drives the simulation behind plain calls.
+    from repro.ncs import SyncSession
+
+    sess = SyncSession(num_devices=1, functional=True)
+    dev = sess.open_device(0)
+    handle = sess.allocate(dev, graph)
+    tensor = preprocess(synth.sample(0, image_id=2000))
+    result, _ = sess.infer(handle, tensor)
+    pred = int(result.astype("float32").ravel().argmax())
+    print(f"\nSyncSession check: predicted {vocab[pred].name!r} "
+          f"(simulated t={sess.now * 1000:.0f} ms)")
+
+
+if __name__ == "__main__":
+    main()

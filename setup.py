@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses pyproject.toml when PEP-517 tooling is complete;
+this shim lets `python setup.py develop` work offline.
+"""
+from setuptools import setup
+
+setup()

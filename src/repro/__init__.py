@@ -1,0 +1,46 @@
+"""repro — full-system reproduction of "Exploring the Vision
+Processing Unit as Co-processor for Inference" (IPDPSW 2018).
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event simulation kernel.
+``repro.numerics``
+    FP16 emulation, precision policies, statistics, ULP analysis.
+``repro.tensors``
+    NCHW blobs, Caffe geometry, im2col lowering.
+``repro.nn``
+    From-scratch CNN inference engine and the GoogLeNet topology.
+``repro.vpu``
+    Myriad 2 architectural model and graph compiler.
+``repro.ncs``
+    Neural Compute Stick platform: USB topology, device, NCAPI.
+``repro.baselines``
+    Calibrated Caffe-MKL CPU and Caffe-cuDNN GPU device models.
+``repro.ncsw``
+    The paper's NCSw inference framework (sources, targets,
+    multi-VPU scheduler).
+``repro.data``
+    Synthetic ILSVRC 2012 substrate with error-rate calibration.
+``repro.power``
+    TDP registry and throughput-per-Watt (the paper's Eq. 1).
+``repro.mdk``
+    Movidius Development Kit analogue: general-purpose SHAVE compute
+    (the paper's future-work direction).
+``repro.harness``
+    Per-figure experiment drivers, tables and terminal plots.
+
+Quick entry points::
+
+    from repro.nn import get_model
+    from repro.vpu import compile_graph
+    from repro.ncsw import NCSw, IntelVPU, SyntheticSource
+    from repro.harness import fig6a_throughput_per_subset
+
+See README.md for the full tour and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,34 @@
+"""Reference CPU and GPU inference devices.
+
+The paper compares the multi-VPU rig against two host-side baselines:
+
+* Caffe-MKL (v1.0.7) on 2x Intel Xeon E5-2609v2 — FP32, classic batch
+  processing, MKL2017 engine (:mod:`repro.baselines.cpu`);
+* Caffe-cuDNN (v0.16.4) on an NVIDIA Quadro K4000 — FP32, CUDA 9 /
+  cuDNN 7 (:mod:`repro.baselines.gpu`).
+
+Both run the network *functionally* in FP32 (they share the NumPy
+substrate) while their latency comes from calibrated batch-scaling
+models anchored to the paper's measured numbers
+(:mod:`repro.baselines.calibration`).
+"""
+
+from repro.baselines.device import InferenceDevice
+from repro.baselines.cpu import CPUDevice
+from repro.baselines.gpu import GPUDevice
+from repro.baselines.calibration import (
+    BatchLatencyModel,
+    CPU_LATENCY,
+    GPU_LATENCY,
+    REFERENCE_GOOGLENET_MACS,
+)
+
+__all__ = [
+    "InferenceDevice",
+    "CPUDevice",
+    "GPUDevice",
+    "BatchLatencyModel",
+    "CPU_LATENCY",
+    "GPU_LATENCY",
+    "REFERENCE_GOOGLENET_MACS",
+]

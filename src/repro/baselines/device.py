@@ -1,0 +1,111 @@
+"""Common interface of host-side inference devices.
+
+CPU and GPU baselines share the behaviour: Caffe-style batch
+processing (one blocking call per batch), FP32 functional execution on
+the NumPy substrate, simulated latency from a calibrated
+:class:`~repro.baselines.calibration.BatchLatencyModel`, and a TDP
+figure for the throughput-per-Watt analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.baselines.calibration import (
+    REFERENCE_GOOGLENET_MACS,
+    BatchLatencyModel,
+)
+from repro.errors import SimulationError
+from repro.nn.graph import Network
+from repro.numerics.quant import PrecisionPolicy
+from repro.sim.core import Environment, Event
+
+
+class InferenceDevice:
+    """A host-side batch-processing inference device."""
+
+    #: Overridden by subclasses.
+    name = "device"
+    tdp_watts = 0.0
+
+    def __init__(self, env: Environment, network: Network,
+                 latency_model: BatchLatencyModel,
+                 functional: bool = True,
+                 jitter: float = 0.0,
+                 jitter_seed: int = 0) -> None:
+        if jitter < 0 or jitter >= 0.5:
+            raise SimulationError(
+                f"jitter must be in [0, 0.5), got {jitter}")
+        self.env = env
+        self.network = network
+        self.latency_model = latency_model
+        self.functional = functional
+        #: Latency scales with workload size relative to paper GoogLeNet.
+        self.mac_scale = (network.total_macs(1)
+                          / REFERENCE_GOOGLENET_MACS)
+        #: Relative std-dev of per-batch latency noise (testbed noise
+        #: model; 0 keeps the simulation deterministic).
+        self.jitter = float(jitter)
+        self._jitter_rng = np.random.default_rng(jitter_seed)
+        self.batches_run = 0
+        self.images_run = 0
+
+    # -- timing ------------------------------------------------------------
+    def batch_seconds(self, batch: int) -> float:
+        """Simulated wall time of one batch."""
+        return self.latency_model.batch_seconds(batch, self.mac_scale)
+
+    def per_image_seconds(self, batch: int) -> float:
+        """Simulated per-image latency at a batch size."""
+        return self.latency_model.per_image_seconds(batch, self.mac_scale)
+
+    def throughput(self, batch: int) -> float:
+        """Simulated images/second at a batch size."""
+        return self.latency_model.throughput(batch, self.mac_scale)
+
+    # -- execution -------------------------------------------------------------
+    def run_batch(self, x: Optional[np.ndarray],
+                  batch: Optional[int] = None) -> Event:
+        """Run one batch as a DES process.
+
+        ``x`` is the NCHW input batch (or None in non-functional
+        timing-only mode, in which case ``batch`` gives the size).
+        The event's value is the softmax output (or None).
+        """
+        if x is None and batch is None:
+            raise SimulationError(
+                "run_batch needs either data or an explicit batch size")
+        n = int(x.shape[0]) if x is not None else int(batch)  # type: ignore[arg-type]
+        if x is not None and batch is not None and batch != n:
+            raise SimulationError(
+                f"batch={batch} disagrees with data batch {n}")
+        return self.env.process(self._run(x, n))
+
+    def _run(self, x: Optional[np.ndarray],
+             n: int) -> Generator[Event, None, Optional[np.ndarray]]:
+        seconds = self.batch_seconds(n)
+        if self.jitter > 0:
+            # Truncated multiplicative noise; never negative time.
+            factor = max(0.5, 1.0 + self._jitter_rng.normal(
+                0.0, self.jitter))
+            seconds *= factor
+        yield self.env.timeout(seconds)
+        self.batches_run += 1
+        self.images_run += n
+        if not self.functional or x is None:
+            return None
+        return self.network.forward(x, PrecisionPolicy.fp32())
+
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Synchronous functional prediction (no simulation clock).
+
+        Used by the error-rate experiments, where only the outputs
+        matter; FP32 is the reference precision of both baselines.
+        """
+        return self.network.predict(x, PrecisionPolicy.fp32())
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} tdp={self.tdp_watts}W "
+                f"mac_scale={self.mac_scale:.4f}>")

@@ -1,0 +1,68 @@
+"""Caffe-style test-time oversampling (10-crop).
+
+Caffe's reference ``classify.py`` — the harness behind every
+GoogLeNet-era accuracy number, including the BVLC model the paper
+deploys — averages predictions over ten crops: the four corners and
+the centre of the image, each plus its horizontal mirror.  This module
+implements that oversampling on uint8 HWC images, so the accuracy
+experiments can quantify what single-crop evaluation (all the NCS
+pipeline can afford at 100 ms/inference) gives up against the
+published protocol.
+
+Substitution caveat (documented in EXPERIMENTS.md): on the synthetic
+substrate the classifier is calibrated on whole resized images, and
+the random-feature backbone is not translation invariant, so crops are
+*off-distribution* and oversampling degrades accuracy here — unlike a
+trained GoogLeNet, whose features tolerate crops.  The implementation
+is exercised mechanically either way; the accuracy claim belongs to
+the trained-weights regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def ten_crop(image: np.ndarray, crop_size: int) -> np.ndarray:
+    """The 10 Caffe oversampling crops of an HWC image.
+
+    Returns an array of shape ``(10, crop, crop, C)``: four corners +
+    centre, then the horizontal mirrors of the same five, in Caffe's
+    order.
+    """
+    if image.ndim != 3:
+        raise DatasetError(f"expected HWC image, got ndim={image.ndim}")
+    h, w, _ = image.shape
+    if crop_size > min(h, w):
+        raise DatasetError(
+            f"crop {crop_size} exceeds image {h}x{w}")
+    cy, cx = (h - crop_size) // 2, (w - crop_size) // 2
+    anchors = [(0, 0), (0, w - crop_size), (h - crop_size, 0),
+               (h - crop_size, w - crop_size), (cy, cx)]
+    crops = [image[y:y + crop_size, x:x + crop_size]
+             for y, x in anchors]
+    mirrored = [c[:, ::-1] for c in crops]
+    return np.stack(crops + mirrored)
+
+
+def oversampled_predict(net, preprocessor, image: np.ndarray,
+                        policy=None) -> tuple[int, float]:
+    """Classify one uint8 HWC image by averaging over the 10 crops.
+
+    The crop size is the preprocessor's input geometry; crops skip the
+    resize (they are already at network size), matching Caffe's
+    oversample path.  Returns ``(label, averaged confidence)``.
+    """
+    crop = preprocessor.input_size
+    if min(image.shape[:2]) <= crop:
+        raise DatasetError(
+            f"image {image.shape[:2]} too small to crop at {crop} "
+            f"(oversampling needs head-room)")
+    crops = ten_crop(image, crop)
+    batch = np.stack([preprocessor(c) for c in crops])
+    probs = net.forward(batch, policy).reshape(10, -1)
+    mean = probs.mean(axis=0)
+    label = int(mean.argmax())
+    return label, float(mean[label])

@@ -1,0 +1,154 @@
+"""Class-conditional synthetic image synthesis.
+
+Every class has a deterministic canonical *template*: a smooth RGB
+pattern built from a low-resolution random field (upsampled, so it has
+spatial structure like a photograph rather than white noise) plus a
+class-specific sinusoidal grating.  A validation image is its class
+template perturbed by pixel noise, brightness jitter and a small
+translation — the knobs that make top-1 accuracy a smooth function of
+``noise_sigma`` (calibrated in :mod:`repro.data.calibrate`).
+
+All images are uint8 HWC RGB, like decoded JPEGs, so the preprocessing
+pipeline (resize, mean-subtract, FP16-convert) is exercised exactly as
+the paper's NCSw framework exercises OpenCV + OpenEXR.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def _rng_for(seed: int, *parts: object) -> np.random.Generator:
+    digest = hashlib.sha256(
+        ":".join(str(p) for p in (seed,) + parts).encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+class ImageSynthesizer:
+    """Deterministic generator of class templates and noisy samples.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of classes in the vocabulary.
+    size:
+        Square image side in pixels (e.g. 224 for paper scale).
+    noise_sigma:
+        Standard deviation of the additive pixel noise, in 8-bit counts.
+        This is the knob :func:`repro.data.calibrate.calibrate_noise`
+        tunes to land the top-1 error at the paper's ~32 %.
+    seed:
+        Master seed; class templates depend only on (seed, class).
+    jitter_shift:
+        Maximum cyclic translation in pixels (0 disables). Random
+        feature maps are not shift invariant, so this stays small.
+    jitter_gain / jitter_offset:
+        Std-dev of the multiplicative / additive brightness jitter.
+    """
+
+    GRID = 8  #: low-res field resolution the templates are built from
+
+    def __init__(self, num_classes: int, size: int,
+                 noise_sigma: float = 60.0, seed: int = 2012,
+                 jitter_shift: int = 1, jitter_gain: float = 0.02,
+                 jitter_offset: float = 3.0) -> None:
+        if num_classes < 1:
+            raise DatasetError("num_classes must be >= 1")
+        if size < self.GRID:
+            raise DatasetError(f"size must be >= {self.GRID}, got {size}")
+        if noise_sigma < 0:
+            raise DatasetError("noise_sigma must be >= 0")
+        if jitter_shift < 0:
+            raise DatasetError("jitter_shift must be >= 0")
+        self.num_classes = num_classes
+        self.size = size
+        self.noise_sigma = float(noise_sigma)
+        self.seed = seed
+        self.jitter_shift = int(jitter_shift)
+        self.jitter_gain = float(jitter_gain)
+        self.jitter_offset = float(jitter_offset)
+        self._template_cache: dict[int, np.ndarray] = {}
+
+    # -- templates ------------------------------------------------------
+    def template(self, class_index: int) -> np.ndarray:
+        """Canonical uint8 HWC image for *class_index* (cached)."""
+        if not 0 <= class_index < self.num_classes:
+            raise DatasetError(
+                f"class index {class_index} out of range")
+        cached = self._template_cache.get(class_index)
+        if cached is not None:
+            return cached
+        rng = _rng_for(self.seed, "template", class_index)
+        size = self.size
+
+        # Smooth random field: GRID x GRID per channel, bilinearly
+        # upsampled. Gives photograph-like low-frequency structure.
+        field = rng.uniform(0, 255, size=(self.GRID, self.GRID, 3))
+        coords = np.linspace(0, self.GRID - 1, size)
+        i0 = np.clip(np.floor(coords).astype(int), 0, self.GRID - 2)
+        frac = (coords - i0).reshape(-1, 1)
+        rows = (field[i0] * (1 - frac[:, :, None])
+                + field[i0 + 1] * frac[:, :, None])
+        fracc = (coords - i0).reshape(1, -1, 1)
+        img = (rows[:, i0] * (1 - fracc) + rows[:, i0 + 1] * fracc)
+
+        # Class-specific grating adds mid-frequency discriminative
+        # detail that survives downscaling.
+        fx, fy = rng.uniform(1.0, 4.0, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        amp = rng.uniform(20, 45)
+        yy, xx = np.meshgrid(np.linspace(0, 2 * np.pi, size),
+                             np.linspace(0, 2 * np.pi, size),
+                             indexing="ij")
+        grating = amp * np.sin(fx * xx + fy * yy + phase)
+        img = img + grating[:, :, None]
+
+        out = np.clip(img, 0, 255).astype(np.uint8)
+        self._template_cache[class_index] = out
+        return out
+
+    # -- samples -----------------------------------------------------------
+    def sample(self, class_index: int, image_id: int) -> np.ndarray:
+        """Noisy uint8 HWC sample of *class_index*, keyed by *image_id*.
+
+        The same ``(seed, class, image_id, noise_sigma)`` always yields
+        the same pixels, so datasets are reproducible without storage.
+        """
+        rng = _rng_for(self.seed, "sample", class_index, image_id,
+                       round(self.noise_sigma, 6))
+        img = self.template(class_index).astype(np.float32)
+
+        # Mild cyclic translation; kept small enough that noise_sigma
+        # remains the dominant difficulty knob.
+        if self.jitter_shift > 0:
+            shift = int(rng.integers(-self.jitter_shift,
+                                     self.jitter_shift + 1))
+            if shift:
+                img = np.roll(img, shift, axis=(0, 1))
+
+        # Mild brightness / contrast jitter.
+        gain = 1.0 + rng.normal(0, self.jitter_gain)
+        offset = rng.normal(0, self.jitter_offset)
+        img = img * gain + offset
+
+        # Calibrated pixel noise — the main difficulty knob.
+        if self.noise_sigma > 0:
+            img = img + rng.normal(0, self.noise_sigma, size=img.shape)
+
+        return np.clip(img, 0, 255).astype(np.uint8)
+
+    def with_noise(self, noise_sigma: float) -> "ImageSynthesizer":
+        """Copy of this synthesizer at a different noise level.
+
+        Shares the template cache (templates don't depend on noise).
+        """
+        clone = ImageSynthesizer(
+            self.num_classes, self.size, noise_sigma, self.seed,
+            jitter_shift=self.jitter_shift, jitter_gain=self.jitter_gain,
+            jitter_offset=self.jitter_offset)
+        clone._template_cache = self._template_cache
+        return clone

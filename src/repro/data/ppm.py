@@ -1,0 +1,71 @@
+"""PPM (portable pixmap) image file I/O.
+
+A from-scratch binary P6 codec so the synthetic validation set can be
+materialised as *actual image files on disk* and read back — giving
+the NCSw ``ImageFolder`` source a genuine folder of images to walk,
+like the 50 000 JPEGs the paper's harness reads.  P6 is chosen because
+it is a real, widely-supported format expressible without compression
+dependencies.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+_MAGIC = b"P6"
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> None:
+    """Write an HxWx3 uint8 RGB array as a binary P6 file."""
+    img = np.asarray(image)
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise DatasetError(
+            f"PPM needs an HxWx3 image, got shape {img.shape}")
+    if img.dtype != np.uint8:
+        raise DatasetError(f"PPM needs uint8 pixels, got {img.dtype}")
+    h, w, _ = img.shape
+    header = f"P6\n{w} {h}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + img.tobytes())
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary P6 file into an HxWx3 uint8 RGB array."""
+    data = Path(path).read_bytes()
+    if not data.startswith(_MAGIC):
+        raise DatasetError(f"{path}: not a P6 PPM file")
+    # Header: magic, width, height, maxval — whitespace/comment
+    # separated, then a single whitespace byte before pixel data.
+    pos = 2
+    fields: list[int] = []
+    while len(fields) < 3:
+        # Skip whitespace and comments.
+        while pos < len(data) and data[pos:pos + 1].isspace():
+            pos += 1
+        if pos < len(data) and data[pos:pos + 1] == b"#":
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos:pos + 1].isspace():
+            pos += 1
+        token = data[start:pos]
+        if not token.isdigit():
+            raise DatasetError(
+                f"{path}: malformed PPM header near byte {start}")
+        fields.append(int(token))
+    pos += 1  # single whitespace after maxval
+    w, h, maxval = fields
+    if maxval != 255:
+        raise DatasetError(
+            f"{path}: only 8-bit PPM supported, maxval={maxval}")
+    expected = w * h * 3
+    pixels = data[pos:pos + expected]
+    if len(pixels) != expected:
+        raise DatasetError(
+            f"{path}: truncated pixel data ({len(pixels)} of "
+            f"{expected} bytes)")
+    return np.frombuffer(pixels, dtype=np.uint8).reshape(h, w, 3).copy()

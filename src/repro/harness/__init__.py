@@ -1,0 +1,53 @@
+"""Experiment harness.
+
+One driver per paper artefact (Fig. 6a/6b, Fig. 7a/7b, Fig. 8a/8b and
+the §IV/§V headline table), each returning a structured
+:class:`~repro.harness.figures.FigureResult` carrying both the measured
+series and the paper's reference values, plus text-table and
+ASCII-plot renderers for terminal output.
+
+Scales: ``paper`` runs the full 224px/1000-class geometry (slow);
+``default`` runs the same topology at the documented reduced scale;
+``smoke`` is the test-suite scale.  Every result records which scale
+produced it.
+"""
+
+from repro.harness.experiment import (
+    ExperimentContext,
+    ExperimentScale,
+    SCALES,
+    get_context,
+)
+from repro.harness.figures import (
+    FigureResult,
+    Series,
+    fig6a_throughput_per_subset,
+    fig6b_normalized_scaling,
+    fig7a_top1_error,
+    fig7b_confidence_difference,
+    fig8a_throughput_per_watt,
+    fig8b_projected_throughput,
+    headline_table,
+)
+from repro.harness.tables import render_figure_table, render_comparison
+from repro.harness.ascii_plot import bar_chart, line_chart
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentScale",
+    "SCALES",
+    "get_context",
+    "FigureResult",
+    "Series",
+    "fig6a_throughput_per_subset",
+    "fig6b_normalized_scaling",
+    "fig7a_top1_error",
+    "fig7b_confidence_difference",
+    "fig8a_throughput_per_watt",
+    "fig8b_projected_throughput",
+    "headline_table",
+    "render_figure_table",
+    "render_comparison",
+    "bar_chart",
+    "line_chart",
+]

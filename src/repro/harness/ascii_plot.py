@@ -1,0 +1,65 @@
+"""Terminal plots for figure results.
+
+Keeps the benchmark output self-contained: every bench target prints
+the same bars/lines the paper's figures show, without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import FigureResult
+
+_MARKS = "#*+o@%"
+
+
+def bar_chart(result: FigureResult, width: int = 50) -> str:
+    """Grouped horizontal bar chart of a FigureResult."""
+    peak = max((max(s.y) for s in result.series if s.y), default=1.0)
+    if peak <= 0:
+        peak = 1.0
+    lines = [f"{result.figure_id}: {result.title} "
+             f"[{result.ylabel}]"]
+    xs = result.series[0].x if result.series else ()
+    label_w = max([len(str(x)) for x in xs] + [4])
+    for i, x in enumerate(xs):
+        for j, s in enumerate(result.series):
+            bar = int(round(s.y[i] / peak * width))
+            mark = _MARKS[j % len(_MARKS)]
+            prefix = f"{str(x):>{label_w}}" if j == 0 else " " * label_w
+            lines.append(
+                f"{prefix} {s.label:>10} |{mark * bar:<{width}}| "
+                f"{s.y[i]:.3f}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def line_chart(result: FigureResult, width: int = 60,
+               height: int = 16) -> str:
+    """Multi-series ASCII line chart (x positions evenly spaced)."""
+    if not result.series:
+        return f"{result.figure_id}: (no data)"
+    ys = [y for s in result.series for y in s.y]
+    lo, hi = min(ys), max(ys)
+    if hi == lo:
+        hi = lo + 1.0
+    n = len(result.series[0].x)
+    grid = [[" "] * width for _ in range(height)]
+    for j, s in enumerate(result.series):
+        mark = _MARKS[j % len(_MARKS)]
+        for i, y in enumerate(s.y):
+            col = int(round(i / max(n - 1, 1) * (width - 1)))
+            row = int(round((1 - (y - lo) / (hi - lo)) * (height - 1)))
+            grid[row][col] = mark
+    lines = [f"{result.figure_id}: {result.title}"]
+    lines.append(f"{hi:10.2f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{lo:10.2f} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "".join(
+        str(x).ljust(width // max(len(result.series[0].x), 1))
+        for x in result.series[0].x)[:width])
+    legend = "   ".join(
+        f"{_MARKS[j % len(_MARKS)]}={s.label}"
+        for j, s in enumerate(result.series))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

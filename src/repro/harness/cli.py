@@ -1,0 +1,213 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+::
+
+    python -m repro list
+    python -m repro fig6a --images 160
+    python -m repro fig7a --scale default
+    python -m repro headline
+    python -m repro report --scale smoke     # everything
+    python -m repro profile --model googlenet-mini
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.harness import figures
+from repro.harness.ascii_plot import bar_chart, line_chart
+from repro.harness.tables import render_comparison, render_figure_table
+
+_FIGURES: dict[str, tuple[str, Callable]] = {
+    "fig6a": ("throughput per subset (batch 8)",
+              lambda args: figures.fig6a_throughput_per_subset(
+                  images_per_subset=args.images)),
+    "fig6b": ("normalized scaling vs batch size",
+              lambda args: figures.fig6b_normalized_scaling(
+                  images=args.images)),
+    "fig7a": ("top-1 error per subset (FP32 vs FP16)",
+              lambda args: figures.fig7a_top1_error(scale=args.scale)),
+    "fig7b": ("confidence difference per subset",
+              lambda args: figures.fig7b_confidence_difference(
+                  scale=args.scale)),
+    "fig8a": ("throughput per Watt",
+              lambda args: figures.fig8a_throughput_per_watt(
+                  images=args.images)),
+    "fig8b": ("projected throughput to 16 VPUs",
+              lambda args: figures.fig8b_projected_throughput(
+                  images=args.images)),
+}
+
+_BAR_FIGURES = {"fig6a", "fig7a"}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name, (desc, _) in _FIGURES.items():
+        print(f"  {name:<9} {desc}")
+    print("  headline  the paper's §IV/§V headline numbers")
+    print("  audit     verify every quantitative claim in the paper")
+    print("  report    all of the above in one run")
+    print("  profile   per-layer VPU timing report for a zoo model")
+    return 0
+
+
+def _render(name: str, result) -> None:
+    print(render_figure_table(result))
+    print()
+    if name in _BAR_FIGURES:
+        print(bar_chart(result))
+    else:
+        print(line_chart(result))
+    print()
+
+
+def _cmd_figure(name: str, args: argparse.Namespace) -> int:
+    result = _FIGURES[name][1](args)
+    _render(name, result)
+    if getattr(args, "json_dir", None):
+        from pathlib import Path
+
+        from repro.harness.export import save_figure_json
+
+        out = Path(args.json_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        save_figure_json(result, out / f"{name}.json")
+        print(f"saved {out / (name + '.json')}")
+    return 0
+
+
+def _cmd_headline(args: argparse.Namespace) -> int:
+    scale = None if args.scale in (None, "none") else args.scale
+    rows = figures.headline_table(images=args.images, error_scale=scale)
+    print(render_comparison(rows, title="headline: paper vs measured"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    md_sections: list[str] = []
+    results = {}
+    skip_functional = args.scale in (None, "none")
+    names = [n for n in _FIGURES
+             if not (skip_functional and n in ("fig7a", "fig7b"))]
+    for name in names:
+        print("=" * 72)
+        results[name] = _FIGURES[name][1](args)
+        _render(name, results[name])
+        if getattr(args, "json_dir", None):
+            from pathlib import Path
+
+            from repro.harness.export import save_figure_json
+
+            out = Path(args.json_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            save_figure_json(results[name], out / f"{name}.json")
+    print("=" * 72)
+    scale = None if args.scale in (None, "none") else args.scale
+    rows = figures.headline_table(images=args.images,
+                                  error_scale=scale)
+    print(render_comparison(rows, title="headline: paper vs measured"))
+
+    if getattr(args, "markdown", None):
+        from pathlib import Path
+
+        from repro.harness.tables import (
+            render_comparison_markdown,
+            render_figure_markdown,
+        )
+
+        md_sections = [render_figure_markdown(results[n])
+                       for n in names]
+        md = ("# Reproduction report\n\n"
+              + render_comparison_markdown(rows) + "\n"
+              + "\n".join(md_sections))
+        Path(args.markdown).write_text(md)
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.harness.claims import (
+        render_audit,
+        verify_claims,
+        verify_functional_claims,
+    )
+
+    results = verify_claims(images=args.images)
+    if args.scale not in (None, "none"):
+        results = results + verify_functional_claims(scale=args.scale)
+    print(render_audit(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.nn import get_model
+    from repro.nn.weights import initialize_network
+    from repro.vpu import compile_graph
+    from repro.vpu.compiler import per_layer_report
+
+    net = get_model(args.model)
+    initialize_network(net)
+    graph = compile_graph(net, num_shaves=args.shaves)
+    print(per_layer_report(graph, top=args.top))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--images", type=int, default=160,
+                        help="timing images per measurement")
+    common.add_argument("--scale", default="default",
+                        help="functional scale: smoke|default|paper")
+    common.add_argument("--json-dir", default=None,
+                        help="also save each figure as JSON here")
+
+    for name, (desc, _) in _FIGURES.items():
+        sub.add_parser(name, help=desc, parents=[common])
+    sub.add_parser("headline", help="headline paper-vs-measured table",
+                   parents=[common])
+    report = sub.add_parser("report", help="regenerate everything",
+                            parents=[common])
+    sub.add_parser("audit", help="verify every quantitative claim",
+                   parents=[common])
+    report.add_argument("--markdown", default=None,
+                        help="write the full report as markdown here")
+
+    profile = sub.add_parser("profile",
+                             help="per-layer VPU timing report")
+    profile.add_argument("--model", default="googlenet-mini")
+    profile.add_argument("--shaves", type=int, default=12)
+    profile.add_argument("--top", type=int, default=None)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command in _FIGURES:
+        return _cmd_figure(args.command, args)
+    if args.command == "headline":
+        return _cmd_headline(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Experiment scales and the shared experiment context.
+
+An :class:`ExperimentContext` bundles everything a figure driver
+needs: the pretrained network, the calibrated validation dataset, the
+preprocessor and the compiled VPU graph.  Building one is expensive
+(template features + noise calibration), so contexts are cached per
+scale name.
+
+Timing-only experiments (Fig. 6/8) additionally use a *paper-scale*
+compiled graph — the latency models are calibrated at 224px geometry —
+available via :func:`paper_timing_graph` regardless of the functional
+scale in use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.data.calibrate import CalibrationResult, calibrate_noise
+from repro.data.generator import ImageSynthesizer
+from repro.data.ilsvrc import ILSVRCValidation
+from repro.data.preprocess import Preprocessor
+from repro.data.synsets import SynsetVocabulary
+from repro.errors import ReproError
+from repro.nn.graph import Network
+from repro.nn.weights import WeightStore
+from repro.nn.zoo import model_entry
+from repro.vpu.compiler.compile import CompiledGraph, compile_graph
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big the functional experiments run."""
+
+    name: str
+    model: str                 #: zoo model name
+    source_size: int           #: raw image side before preprocessing
+    images_per_subset: int     #: evaluated per subset (paper: 10 000)
+    num_subsets: int = 5
+    target_error: float = 0.32
+    calibration_samples: int = 256
+    jitter_shift: int = 1
+    seed: int = 0
+
+    @property
+    def num_classes(self) -> int:
+        """Class count of the scale's zoo model."""
+        return model_entry(self.model).config.num_classes
+
+    @property
+    def input_size(self) -> int:
+        """Network input geometry of the scale's zoo model."""
+        return model_entry(self.model).config.input_size
+
+
+SCALES: dict[str, ExperimentScale] = {
+    # The honest full-paper geometry. Functionally runnable but slow
+    # in NumPy; benchmarks never select it by default.
+    "paper": ExperimentScale(
+        name="paper", model="googlenet", source_size=256,
+        images_per_subset=10_000),
+    # The documented default: full topology, quarter width, 64px.
+    "default": ExperimentScale(
+        name="default", model="googlenet-mini", source_size=96,
+        images_per_subset=200),
+    # Test-suite scale: milliseconds per build.
+    "smoke": ExperimentScale(
+        name="smoke", model="googlenet-micro", source_size=48,
+        images_per_subset=20, calibration_samples=96,
+        jitter_shift=0),
+}
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the figure drivers consume."""
+
+    scale: ExperimentScale
+    network: Network
+    vocabulary: SynsetVocabulary
+    dataset: ILSVRCValidation
+    preprocessor: Preprocessor
+    calibration: CalibrationResult
+    graph: CompiledGraph
+
+    @property
+    def num_images(self) -> int:
+        """Total validation images across all subsets."""
+        return self.scale.images_per_subset * self.scale.num_subsets
+
+
+def build_context(scale: ExperimentScale) -> ExperimentContext:
+    """Construct a context: pretrain, calibrate noise, compile."""
+    from repro.nn.zoo import get_model
+
+    net = get_model(scale.model)
+    pp = Preprocessor(input_size=scale.input_size)
+    synth = ImageSynthesizer(
+        num_classes=scale.num_classes, size=scale.source_size,
+        noise_sigma=0.0, jitter_shift=scale.jitter_shift)
+    WeightStore(seed=scale.seed, logit_scale=8.0).pretrain(
+        net, lambda c: pp(synth.template(c)),
+        num_classes=scale.num_classes)
+    calibration = calibrate_noise(
+        net, synth, pp, target_error=scale.target_error,
+        n_samples=scale.calibration_samples)
+    calibrated = synth.with_noise(calibration.noise_sigma)
+    vocab = SynsetVocabulary(num_classes=scale.num_classes)
+    dataset = ILSVRCValidation(
+        vocab, calibrated,
+        num_images=scale.images_per_subset * scale.num_subsets,
+        subset_size=scale.images_per_subset)
+    graph = compile_graph(net)
+    return ExperimentContext(
+        scale=scale, network=net, vocabulary=vocab, dataset=dataset,
+        preprocessor=pp, calibration=calibration, graph=graph)
+
+
+@lru_cache(maxsize=4)
+def _cached_context(scale_name: str) -> ExperimentContext:
+    return build_context(SCALES[scale_name])
+
+
+def get_context(scale: str = "default") -> ExperimentContext:
+    """Cached experiment context for a named scale."""
+    if scale not in SCALES:
+        raise ReproError(
+            f"unknown scale {scale!r}; available: {sorted(SCALES)}")
+    return _cached_context(scale)
+
+
+@lru_cache(maxsize=1)
+def paper_timing_graph() -> CompiledGraph:
+    """Paper-scale compiled GoogLeNet for the timing experiments.
+
+    Weights stay zero-initialised — only shapes matter for timing, and
+    7M parameters of He-init would cost seconds for nothing.
+    """
+    from repro.nn.googlenet import build_googlenet
+
+    return compile_graph(build_googlenet())
+
+
+@lru_cache(maxsize=1)
+def paper_timing_network() -> Network:
+    """The Network behind :func:`paper_timing_graph` (shared instance)."""
+    return paper_timing_graph().network

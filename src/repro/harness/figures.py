@@ -1,0 +1,382 @@
+"""Per-figure experiment drivers.
+
+Every driver regenerates one artefact of the paper's evaluation and
+returns a :class:`FigureResult` holding the measured series *and* the
+paper's reference values, so the benchmark harness (and EXPERIMENTS.md)
+can put them side by side.
+
+Timing experiments (Fig. 6a/6b/8a/8b) run the paper-scale compiled
+graph through the full platform simulation in non-functional mode —
+the simulated clock is the measurement.  Precision experiments
+(Fig. 7a/7b) run the real network functionally in both precisions at
+the context's scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.harness.experiment import (
+    ExperimentContext,
+    get_context,
+    paper_timing_graph,
+    paper_timing_network,
+)
+from repro.ncsw.framework import NCSw
+from repro.ncsw.results import RunResult
+from repro.ncsw.sources import ImageFolder, SyntheticSource
+from repro.ncsw.targets import IntelCPU, IntelVPU, NvGPU
+from repro.power.metrics import throughput_per_watt
+from repro.power.tdp import DEFAULT_TDP
+
+#: Images per timing measurement (timing is deterministic in the DES,
+#: so a few hundred suffice to reach steady state).
+TIMING_IMAGES = 160
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line/bar group."""
+
+    label: str
+    x: tuple
+    y: tuple
+    yerr: Optional[tuple] = None
+
+
+@dataclass
+class FigureResult:
+    """A regenerated paper artefact."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+    paper_reference: dict[str, float | tuple] = field(
+        default_factory=dict)
+    notes: str = ""
+    scale: str = "paper-timing"
+
+    def by_label(self, label: str) -> Series:
+        """Look up a series by its label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.figure_id}")
+
+
+# ---------------------------------------------------------------------------
+# Timing experiments (paper-scale graph, non-functional)
+# ---------------------------------------------------------------------------
+
+def _timing_framework(num_images: int, jitter: float = 0.0) -> NCSw:
+    fw = NCSw()
+    fw.add_source("synthetic", SyntheticSource(num_images))
+    net = paper_timing_network()
+    graph = paper_timing_graph()
+    fw.add_target("cpu", IntelCPU(net, functional=False,
+                                  jitter=jitter))
+    fw.add_target("gpu", NvGPU(net, functional=False, jitter=jitter))
+    for n in (1, 2, 4, 8):
+        fw.add_target(f"vpu{n}", IntelVPU(graph=graph, num_devices=n,
+                                          functional=False,
+                                          jitter=jitter))
+    return fw
+
+
+def fig6a_throughput_per_subset(
+        num_subsets: int = 5,
+        images_per_subset: int = TIMING_IMAGES,
+        jitter: float = 0.0) -> FigureResult:
+    """Fig. 6a: inference throughput per validation subset, batch 8.
+
+    ``jitter`` enables the testbed-noise model (relative std-dev of
+    per-inference latency), which reproduces the paper's error bars;
+    0 keeps the simulation deterministic.
+    """
+    fw = _timing_framework(images_per_subset, jitter=jitter)
+    result = FigureResult(
+        figure_id="fig6a",
+        title="Inference performance per subset (batch 8)",
+        xlabel="Validation subset",
+        ylabel="Throughput (images/s)",
+        paper_reference={"cpu": 44.0, "gpu": 74.2, "vpu": 77.2},
+        notes=(f"{images_per_subset} timing-only images per subset; "
+               + (f"testbed-noise jitter {jitter:.1%}" if jitter
+                  else "deterministic timing, so subset bars are "
+                  "identical (the paper's error bars reflect testbed "
+                  "noise; pass jitter>0 to model it)")),
+    )
+    subsets = tuple(f"Set-{i + 1}" for i in range(num_subsets))
+    for label, target in (("cpu", "cpu"), ("gpu", "gpu"),
+                          ("vpu", "vpu8")):
+        values = []
+        errs = []
+        for _ in range(num_subsets):
+            run = fw.run("synthetic", target, batch_size=8)
+            values.append(run.throughput())
+            stats = run.latency_stats()
+            # Std of per-image throughput contribution within the
+            # subset, matching the paper's per-subset error bars.
+            errs.append(stats.std / stats.mean * run.throughput()
+                        if stats.mean > 0 else 0.0)
+        result.series.append(Series(
+            label=label, x=subsets, y=tuple(values),
+            yerr=tuple(errs)))
+    return result
+
+
+def fig6b_normalized_scaling(
+        images: int = TIMING_IMAGES) -> FigureResult:
+    """Fig. 6b: performance scaling vs batch size, normalised to the
+    single-input test of each device (VPU count == batch size)."""
+    fw = _timing_framework(images)
+    batches = (1, 2, 4, 8)
+    result = FigureResult(
+        figure_id="fig6b",
+        title="Normalized performance scaling per batch size",
+        xlabel="Batch input size",
+        ylabel="Normalized performance",
+        paper_reference={
+            "cpu": (1.0, 1.04, 1.08, 1.15),   # ~14.7% total gain
+            "gpu": (1.0, 1.3, 1.6, 1.9),      # 92.5% at batch 8
+            "vpu": (1.0, 2.0, 4.0, 7.8),      # near-ideal, small penalty
+            "vpu_batch8_factor": 7.8,
+        },
+        notes="per-image time at batch 1 divided by per-image time at "
+              "batch b; VPU uses b active sticks",
+    )
+    for label in ("cpu", "gpu", "vpu"):
+        per_image = []
+        for b in batches:
+            target = f"vpu{b}" if label == "vpu" else label
+            run = fw.run("synthetic", target, batch_size=b)
+            per_image.append(run.seconds_per_image())
+        base = per_image[0]
+        result.series.append(Series(
+            label=label, x=batches,
+            y=tuple(base / t for t in per_image)))
+    return result
+
+
+def fig8a_throughput_per_watt(
+        images: int = TIMING_IMAGES) -> FigureResult:
+    """Fig. 8a: throughput per Watt (Eq. 1) vs batch size."""
+    fw = _timing_framework(images)
+    batches = (1, 2, 4, 8)
+    result = FigureResult(
+        figure_id="fig8a",
+        title="Throughput-TDP comparison per batch size",
+        xlabel="Batch input size",
+        ylabel="Throughput (images/W)",
+        paper_reference={"cpu": 0.55, "gpu": 0.93,
+                         "vpu_single": 3.97},
+        notes="TDP figures: CPU 80 W, GPU 80 W, NCS stick 2.5 W each "
+              "(the paper's §V assumption)",
+    )
+    for label in ("cpu", "gpu", "vpu"):
+        values = []
+        for b in batches:
+            target = f"vpu{b}" if label == "vpu" else label
+            run = fw.run("synthetic", target, batch_size=b)
+            watts = (DEFAULT_TDP.watts("ncs", b) if label == "vpu"
+                     else DEFAULT_TDP.watts(label))
+            values.append(throughput_per_watt(run.throughput(), watts))
+        result.series.append(Series(label=label, x=batches,
+                                    y=tuple(values)))
+    return result
+
+
+def fig8b_projected_throughput(
+        images: int = TIMING_IMAGES) -> FigureResult:
+    """Fig. 8b: throughput vs batch size up to 16, with the multi-VPU
+    series projected past the 8 sticks the testbed holds."""
+    fw = _timing_framework(images)
+    batches = (1, 2, 4, 8, 16)
+    result = FigureResult(
+        figure_id="fig8b",
+        title="Projected inference performance per batch size",
+        xlabel="Batch input size",
+        ylabel="Throughput (images/s)",
+        paper_reference={"cpu_max": 44.5, "gpu_max": 79.9,
+                         "vpu_projected_16": 153.0},
+        notes="VPU values at batch > 8 are projected by continuing the "
+              "measured 4->8 scaling efficiency (dashed in the paper)",
+    )
+    for label in ("cpu", "gpu"):
+        values = [fw.run("synthetic", label, batch_size=b).throughput()
+                  for b in batches]
+        result.series.append(Series(label=label, x=batches,
+                                    y=tuple(values)))
+
+    vpu_measured = {
+        b: fw.run("synthetic", f"vpu{b}", batch_size=b).throughput()
+        for b in (1, 2, 4, 8)}
+    # Efficiency of each doubling step, measured at 4 -> 8 sticks.
+    step_eff = vpu_measured[8] / (2 * vpu_measured[4])
+    projected_16 = vpu_measured[8] * 2 * step_eff
+    result.series.append(Series(
+        label="vpu",
+        x=batches,
+        y=tuple([vpu_measured[1], vpu_measured[2], vpu_measured[4],
+                 vpu_measured[8], projected_16])))
+    result.notes += (f"; measured step efficiency {step_eff:.3f}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Precision experiments (functional, both precisions)
+# ---------------------------------------------------------------------------
+
+def _precision_runs(ctx: ExperimentContext, subset: int,
+                    vpu_devices: int = 8
+                    ) -> tuple[RunResult, RunResult, RunResult]:
+    """Run one subset through CPU (FP32), GPU (FP32) and VPU (FP16)."""
+    fw = NCSw()
+    fw.add_source("val", ImageFolder(
+        ctx.dataset, subset, ctx.preprocessor,
+        limit=ctx.scale.images_per_subset))
+    fw.add_target("cpu", IntelCPU(ctx.network, functional=True))
+    fw.add_target("gpu", NvGPU(ctx.network, functional=True))
+    fw.add_target("vpu", IntelVPU(
+        graph=ctx.graph, num_devices=vpu_devices, functional=True))
+    cpu = fw.run("val", "cpu", batch_size=8)
+    gpu = fw.run("val", "gpu", batch_size=8)
+    vpu = fw.run("val", "vpu", batch_size=8)
+    return cpu, gpu, vpu
+
+
+def fig7a_top1_error(scale: str = "default",
+                     num_subsets: Optional[int] = None) -> FigureResult:
+    """Fig. 7a: top-1 inference error per subset, FP32 vs FP16."""
+    ctx = get_context(scale)
+    n = num_subsets or ctx.scale.num_subsets
+    result = FigureResult(
+        figure_id="fig7a",
+        title="Top-1 inference error per subset",
+        xlabel="Validation subset",
+        ylabel="Inference error",
+        paper_reference={"cpu_fp32_mean": 0.3201,
+                         "vpu_fp16_mean": 0.3192,
+                         "abs_delta": 0.0009},
+        notes="functional runs of the same network in both precisions",
+        scale=scale,
+    )
+    subsets = tuple(f"Set-{i + 1}" for i in range(n))
+    cpu_err, vpu_err, gpu_err = [], [], []
+    for s in range(n):
+        cpu, gpu, vpu = _precision_runs(ctx, s)
+        cpu_err.append(cpu.top1_error())
+        gpu_err.append(gpu.top1_error())
+        vpu_err.append(vpu.top1_error())
+    result.series.append(Series("cpu_fp32", subsets, tuple(cpu_err)))
+    result.series.append(Series("vpu_fp16", subsets, tuple(vpu_err)))
+    # The paper omits the GPU from the figure but asserts equivalence
+    # in a footnote; we include it.
+    result.series.append(Series("gpu_fp32", subsets, tuple(gpu_err)))
+    return result
+
+
+def fig7b_confidence_difference(
+        scale: str = "default",
+        num_subsets: Optional[int] = None) -> FigureResult:
+    """Fig. 7b: mean |confidence_FP32 - confidence_FP16| per subset,
+    over images both precisions classify correctly."""
+    ctx = get_context(scale)
+    n = num_subsets or ctx.scale.num_subsets
+    result = FigureResult(
+        figure_id="fig7b",
+        title="Absolute confidence difference per subset",
+        xlabel="Validation subset",
+        ylabel="Abs. difference error",
+        paper_reference={"mean": 0.0044},
+        notes="filtered to images whose top-1 prediction is correct "
+              "in both precisions, as the paper does",
+        scale=scale,
+    )
+    subsets = tuple(f"Set-{i + 1}" for i in range(n))
+    diffs, stds = [], []
+    for s in range(n):
+        cpu, _, vpu = _precision_runs(ctx, s)
+        cpu_by_id = {r.image_id: r for r in cpu.records}
+        pair_diffs = []
+        for rv in vpu.records:
+            rc = cpu_by_id.get(rv.image_id)
+            if (rc is None or not rc.correct or not rv.correct
+                    or rc.confidence is None or rv.confidence is None):
+                continue
+            pair_diffs.append(abs(rc.confidence - rv.confidence))
+        arr = np.array(pair_diffs) if pair_diffs else np.zeros(1)
+        diffs.append(float(arr.mean()))
+        stds.append(float(arr.std()))
+    result.series.append(Series("cpu_vs_vpu", subsets, tuple(diffs),
+                                yerr=tuple(stds)))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Headline table (§IV / §V numbers)
+# ---------------------------------------------------------------------------
+
+def headline_table(images: int = TIMING_IMAGES,
+                   error_scale: Optional[str] = "default"
+                   ) -> list[tuple[str, float, float]]:
+    """The paper's headline numbers: (metric, paper value, measured).
+
+    ``error_scale=None`` skips the functional error rows (used by the
+    timing-only benchmark).
+    """
+    fw = _timing_framework(images)
+    rows: list[tuple[str, float, float]] = []
+
+    cpu1 = fw.run("synthetic", "cpu", batch_size=1)
+    gpu1 = fw.run("synthetic", "gpu", batch_size=1)
+    vpu1 = fw.run("synthetic", "vpu1", batch_size=1)
+    rows.append(("cpu_single_ms", 26.0,
+                 cpu1.seconds_per_image() * 1000))
+    rows.append(("gpu_single_ms", 25.9,
+                 gpu1.seconds_per_image() * 1000))
+    rows.append(("vpu_single_ms", 100.7,
+                 vpu1.seconds_per_image() * 1000))
+
+    cpu8 = fw.run("synthetic", "cpu", batch_size=8)
+    gpu8 = fw.run("synthetic", "gpu", batch_size=8)
+    vpu8 = fw.run("synthetic", "vpu8", batch_size=8)
+    rows.append(("cpu_batch8_img_s", 44.0, cpu8.throughput()))
+    rows.append(("gpu_batch8_img_s", 74.2, gpu8.throughput()))
+    rows.append(("vpu_batch8_img_s", 77.2, vpu8.throughput()))
+    # "The optimized Caffe framework on the CPU is 40.7% slower."
+    rows.append(("cpu_vs_vpu_slowdown_pct", 40.7,
+                 100 * (vpu8.throughput() - cpu8.throughput())
+                 / vpu8.throughput()))
+    # Single-chip inference is ~4x slower than CPU/GPU (§V).
+    rows.append(("vpu_single_vs_cpu_factor", 4.0,
+                 vpu1.seconds_per_image() / cpu1.seconds_per_image()))
+    # TDP reduction: 80 W CPU vs 8 Myriad 2 chips (§V, abstract).
+    rows.append(("tdp_reduction_chips", 11.1,
+                 80.0 / DEFAULT_TDP.watts("vpu_chip", 8)))
+    rows.append(("tdp_reduction_sticks", 4.0,
+                 80.0 / DEFAULT_TDP.watts("ncs", 8)))
+    # Throughput per Watt at single-device (Fig. 8a text).
+    rows.append(("vpu_img_per_watt", 3.97,
+                 throughput_per_watt(vpu1.throughput(),
+                                     DEFAULT_TDP.watts("ncs"))))
+    rows.append(("cpu_img_per_watt", 0.55,
+                 throughput_per_watt(cpu8.throughput(), 80.0)))
+    rows.append(("gpu_img_per_watt", 0.93,
+                 throughput_per_watt(gpu8.throughput(), 80.0)))
+
+    if error_scale is not None:
+        fig7a = fig7a_top1_error(scale=error_scale)
+        cpu_mean = float(np.mean(fig7a.by_label("cpu_fp32").y))
+        vpu_mean = float(np.mean(fig7a.by_label("vpu_fp16").y))
+        rows.append(("cpu_top1_error", 0.3201, cpu_mean))
+        rows.append(("vpu_top1_error", 0.3192, vpu_mean))
+        fig7b = fig7b_confidence_difference(scale=error_scale)
+        rows.append(("confidence_diff", 0.0044,
+                     float(np.mean(fig7b.series[0].y))))
+    return rows

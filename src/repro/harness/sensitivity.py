@@ -1,0 +1,141 @@
+"""Sensitivity analysis of the headline results.
+
+A simulation study owes its reader an answer to "which modelling
+assumptions matter?".  This module perturbs one substrate parameter at
+a time — DDR bandwidth, USB bandwidth, media-clock frequency, SHAVE
+count — and measures the effect on the two headline quantities:
+single-stick latency and 8-stick throughput.  The reported elasticity
+(d ln output / d ln parameter) separates parameters the conclusions
+lean on (clock, SHAVEs) from those they are robust to (USB bandwidth,
+within reason).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.errors import ReproError
+from repro.ncs.ncapi import NCAPI
+from repro.ncs.usb import paper_testbed_topology
+from repro.sim.core import Environment, Event
+from repro.vpu.compiler.compile import CompiledGraph, compile_graph
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Effect of scaling one parameter by one factor."""
+
+    parameter: str
+    factor: float
+    single_latency_s: float
+    multi8_throughput: float
+
+
+def _measure(graph: CompiledGraph, usb_scale: float = 1.0,
+             images: int = 32) -> tuple[float, float]:
+    """(single-stick latency, 8-stick throughput) for a graph."""
+    from repro.vpu.myriad2 import Myriad2Config
+
+    chip_config = Myriad2Config(freq_hz=graph.freq_hz)
+
+    def run(devices: int) -> float:
+        env = Environment()
+        topo = paper_testbed_topology(env, num_devices=devices)
+        for link in topo.links.values():
+            link.bandwidth *= usb_scale
+        api = NCAPI(env, topo, functional=False,
+                    chip_config=chip_config)
+
+        def scenario() -> Generator[Event, None, float]:
+            opens = [api.open_device(i) for i in range(devices)]
+            handles = yield env.all_of(opens)
+            devs = [handles[ev] for ev in opens]
+            allocs = [d.allocate_compiled(graph) for d in devs]
+            graphs = yield env.all_of(allocs)
+            handles_list = [graphs[ev] for ev in allocs]
+            t0 = env.now
+            from repro.ncsw.scheduler import MultiVPUScheduler
+            from repro.ncsw.sources import SyntheticSource
+            sched = MultiVPUScheduler(env, handles_list)
+            yield sched.run(list(SyntheticSource(images)))
+            return images / (env.now - t0)
+
+        return env.run(until=env.process(scenario()))
+
+    single_throughput = run(1)
+    multi8 = run(8)
+    return 1.0 / single_throughput, multi8
+
+
+def sensitivity_analysis(
+        factors: tuple[float, ...] = (0.5, 1.0, 2.0),
+        images: int = 32) -> list[SensitivityRow]:
+    """Sweep each substrate parameter across *factors*."""
+    if 1.0 not in factors:
+        raise ReproError("factors must include the baseline 1.0")
+    from repro.harness.experiment import paper_timing_network
+
+    net = paper_timing_network()
+    rows: list[SensitivityRow] = []
+    for factor in factors:
+        # DDR bandwidth scaling (spilled-layer streaming cost).
+        g = compile_graph(net, ddr_bandwidth=4e9 * factor)
+        lat, thr = _measure(g, images=images)
+        rows.append(SensitivityRow("ddr_bandwidth", factor, lat, thr))
+        # Media clock frequency.
+        g = compile_graph(net, freq_hz=600e6 * factor)
+        lat, thr = _measure(g, images=images)
+        rows.append(SensitivityRow("clock_frequency", factor, lat, thr))
+        # USB bandwidth (transfer path only; graph unchanged).
+        g = compile_graph(net)
+        lat, thr = _measure(g, usb_scale=factor, images=images)
+        rows.append(SensitivityRow("usb_bandwidth", factor, lat, thr))
+        # SHAVE count scales only down — 12 is the full chip, so
+        # super-unity factors would silently repeat the baseline and
+        # flatten the elasticity.
+        if factor <= 1.0:
+            shaves = max(1, round(12 * factor))
+            g = compile_graph(net, num_shaves=shaves)
+            lat, thr = _measure(g, images=images)
+            rows.append(SensitivityRow("shave_count", factor, lat, thr))
+    return rows
+
+
+def elasticity(rows: list[SensitivityRow], parameter: str,
+               output: str = "latency") -> float:
+    """Log-log slope of *output* against the parameter's factor.
+
+    ``output`` is ``'latency'`` (single stick) or ``'throughput'``
+    (8 sticks).  Uses the extreme factors of the sweep.
+    """
+    mine = sorted((r for r in rows if r.parameter == parameter),
+                  key=lambda r: r.factor)
+    if len(mine) < 2:
+        raise ReproError(f"need >= 2 factors for {parameter!r}")
+    lo, hi = mine[0], mine[-1]
+    if output == "latency":
+        y_lo, y_hi = lo.single_latency_s, hi.single_latency_s
+    elif output == "throughput":
+        y_lo, y_hi = lo.multi8_throughput, hi.multi8_throughput
+    else:
+        raise ReproError(f"unknown output {output!r}")
+    return (math.log(y_hi / y_lo)
+            / math.log(hi.factor / lo.factor))
+
+
+def render_sensitivity(rows: list[SensitivityRow]) -> str:
+    """Text table of the sweep plus elasticities."""
+    lines = ["sensitivity analysis (paper-scale GoogLeNet):",
+             f"  {'parameter':<16} {'factor':>7} {'1-stick ms':>11} "
+             f"{'8-stick img/s':>14}"]
+    for r in sorted(rows, key=lambda r: (r.parameter, r.factor)):
+        lines.append(
+            f"  {r.parameter:<16} {r.factor:>7.2f} "
+            f"{r.single_latency_s * 1000:>11.2f} "
+            f"{r.multi8_throughput:>14.2f}")
+    lines.append("  elasticities (d ln latency / d ln parameter):")
+    for p in sorted({r.parameter for r in rows}):
+        lines.append(f"    {p:<16} {elasticity(rows, p):+6.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Text-table rendering of figure results."""
+
+from __future__ import annotations
+
+from repro.harness.figures import FigureResult
+
+
+def render_figure_table(result: FigureResult) -> str:
+    """Render a FigureResult as an aligned text table."""
+    lines = [f"{result.figure_id}: {result.title}",
+             f"  scale: {result.scale}"]
+    if result.notes:
+        lines.append(f"  notes: {result.notes}")
+    if not result.series:
+        lines.append("  (no series)")
+        return "\n".join(lines)
+
+    xs = result.series[0].x
+    header = f"  {'x':>10} | " + " | ".join(
+        f"{s.label:>12}" for s in result.series)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for i, x in enumerate(xs):
+        cells = []
+        for s in result.series:
+            v = s.y[i]
+            cell = f"{v:12.4f}"
+            if s.yerr is not None and s.yerr[i] > 0:
+                cell = f"{v:7.4f}±{s.yerr[i]:.3f}"[:12].rjust(12)
+            cells.append(cell)
+        lines.append(f"  {str(x):>10} | " + " | ".join(cells))
+    if result.paper_reference:
+        lines.append("  paper reference:")
+        for key, value in result.paper_reference.items():
+            lines.append(f"    {key}: {value}")
+    return "\n".join(lines)
+
+
+def render_figure_markdown(result: FigureResult) -> str:
+    """Render a FigureResult as a GitHub-flavoured markdown section."""
+    lines = [f"## {result.figure_id} — {result.title}", ""]
+    if result.notes:
+        lines += [f"*{result.notes}* (scale: {result.scale})", ""]
+    if result.series:
+        header = "| " + result.xlabel + " | " + " | ".join(
+            s.label for s in result.series) + " |"
+        sep = "|" + "---|" * (len(result.series) + 1)
+        lines += [header, sep]
+        for i, x in enumerate(result.series[0].x):
+            cells = []
+            for s in result.series:
+                cell = f"{s.y[i]:.4g}"
+                if s.yerr is not None and s.yerr[i] > 0:
+                    cell += f" ± {s.yerr[i]:.2g}"
+                cells.append(cell)
+            lines.append(f"| {x} | " + " | ".join(cells) + " |")
+        lines.append("")
+    if result.paper_reference:
+        lines.append("Paper reference: " + ", ".join(
+            f"{k} = {v}" for k, v in result.paper_reference.items()))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_comparison_markdown(
+        rows: list[tuple[str, float, float]],
+        title: str = "Headline — paper vs measured") -> str:
+    """Render a comparison table as markdown."""
+    lines = [f"## {title}", "", "| metric | paper | measured | ratio |",
+             "|---|---|---|---|"]
+    for metric, paper, measured in rows:
+        ratio = measured / paper if paper else float("inf")
+        lines.append(f"| {metric} | {paper:.4g} | {measured:.4g} | "
+                     f"{ratio:.3f} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_comparison(rows: list[tuple[str, float, float]],
+                      title: str = "paper vs measured") -> str:
+    """Render (metric, paper, measured) rows with a ratio column."""
+    width = max((len(r[0]) for r in rows), default=10)
+    lines = [title,
+             f"  {'metric':<{width}} {'paper':>10} {'measured':>10} "
+             f"{'ratio':>7}",
+             "  " + "-" * (width + 30)]
+    for metric, paper, measured in rows:
+        ratio = measured / paper if paper else float("inf")
+        lines.append(
+            f"  {metric:<{width}} {paper:>10.4f} {measured:>10.4f} "
+            f"{ratio:>7.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""MDK — the Movidius Development Kit analogue.
+
+The paper's §II-B notes that "fine-grained general-purpose computing
+using C/C++ is also possible through the Movidius Development Kit
+(MDK)", which "enables OpenCL support and provides several optimized
+libraries designed for the Myriad 2 VPU chip (e.g., LAMA, a linear
+algebra library)" — and §VII declares exploring it the paper's future
+work, citing Ionica & Gregg's Myriad-1 DGEMM study [26] as the model.
+
+This package implements that future-work direction on the simulator:
+
+* :mod:`kernels` — general-purpose SHAVE kernel descriptors and a
+  launcher that fans work-groups across the SHAVE array (with the
+  per-kernel profiler the MDK's tooling provides);
+* :mod:`lama` — a LAMA-style GEMM: CMX tile planning, cycle estimates,
+  functional NumPy execution under a precision policy, and the
+  Gflops / Gflops-per-Watt analysis of the Ionica study;
+* :mod:`opencl` — a minimal OpenCL-flavoured host API (context,
+  buffers, command queue, events) over the simulation kernel.
+"""
+
+from repro.mdk.kernels import (
+    ComputeKernel,
+    KernelLauncher,
+    KernelProfile,
+)
+from repro.mdk.lama import (
+    GemmPlan,
+    gemm,
+    gemm_gflops_per_watt,
+    plan_gemm,
+    simulate_gemm,
+)
+from repro.mdk.opencl import Buffer, CommandQueue, Context
+
+__all__ = [
+    "ComputeKernel",
+    "KernelLauncher",
+    "KernelProfile",
+    "GemmPlan",
+    "gemm",
+    "gemm_gflops_per_watt",
+    "plan_gemm",
+    "simulate_gemm",
+    "Buffer",
+    "CommandQueue",
+    "Context",
+]

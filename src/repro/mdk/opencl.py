@@ -1,0 +1,118 @@
+"""Minimal OpenCL-flavoured host API over the simulator.
+
+The MDK "enables OpenCL support" (paper §II-B); this module provides
+the familiar host-side shapes — :class:`Context`, :class:`Buffer`,
+:class:`CommandQueue` with events — mapped onto the chip model:
+buffers live in simulated DDR, kernel enqueues become SHAVE launches,
+and ``finish()`` drains the queue on the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import SimulationError
+from repro.mdk.kernels import ComputeKernel, KernelLauncher
+from repro.sim.core import Environment, Event
+from repro.vpu.myriad2 import Myriad2
+
+
+class Buffer:
+    """A device buffer resident in the chip's DDR."""
+
+    def __init__(self, context: "Context", nbytes: int) -> None:
+        if nbytes < 1:
+            raise SimulationError("buffer size must be >= 1")
+        self.context = context
+        self.nbytes = nbytes
+        context.chip.ddr.alloc(nbytes)
+        self._released = False
+
+    def release(self) -> None:
+        """Free the DDR reservation (idempotent)."""
+        if not self._released:
+            self.context.chip.ddr.release(self.nbytes)
+            self._released = True
+
+
+class Context:
+    """Owns one device (chip) and its buffers."""
+
+    def __init__(self, env: Environment,
+                 chip: Optional[Myriad2] = None) -> None:
+        self.env = env
+        self.chip = chip or Myriad2(env)
+        self.buffers: list[Buffer] = []
+
+    def alloc_buffer(self, nbytes: int) -> Buffer:
+        """Create a device buffer."""
+        buf = Buffer(self, nbytes)
+        self.buffers.append(buf)
+        return buf
+
+    def release_all(self) -> None:
+        """Release every buffer owned by this context."""
+        for buf in self.buffers:
+            buf.release()
+        self.buffers.clear()
+
+
+class CommandQueue:
+    """In-order command queue: kernel enqueues and DMA transfers."""
+
+    def __init__(self, context: Context) -> None:
+        self.context = context
+        self.launcher = KernelLauncher(context.chip)
+        self._tail: Optional[Event] = None
+        self.enqueued = 0
+
+    def _chain(self, make_event) -> Event:
+        """Serialise behind the current tail (in-order semantics)."""
+        env = self.context.env
+        prev = self._tail
+
+        def runner() -> Generator[Event, None, None]:
+            if prev is not None and not prev.processed:
+                yield prev
+            yield make_event()
+
+        proc = env.process(runner())
+        self._tail = proc
+        self.enqueued += 1
+        return proc
+
+    def enqueue_kernel(self, kernel: ComputeKernel,
+                       shaves: int | None = None) -> Event:
+        """Enqueue a SHAVE kernel; returns its completion event."""
+        return self._chain(lambda: self.launcher.launch(kernel, shaves))
+
+    def enqueue_write(self, buffer: Buffer,
+                      nbytes: int | None = None) -> Event:
+        """Host -> device transfer through the chip DMA."""
+        n = buffer.nbytes if nbytes is None else nbytes
+        if n > buffer.nbytes:
+            raise SimulationError(
+                f"write of {n} bytes exceeds buffer {buffer.nbytes}")
+        dma = self.context.chip.dma
+        return self._chain(lambda: dma.transfer(n, to_ddr=True))
+
+    def enqueue_read(self, buffer: Buffer,
+                     nbytes: int | None = None) -> Event:
+        """Device -> host transfer through the chip DMA."""
+        n = buffer.nbytes if nbytes is None else nbytes
+        if n > buffer.nbytes:
+            raise SimulationError(
+                f"read of {n} bytes exceeds buffer {buffer.nbytes}")
+        dma = self.context.chip.dma
+        return self._chain(lambda: dma.transfer(n, to_ddr=False))
+
+    def finish(self) -> Event:
+        """Event that fires when everything enqueued so far is done."""
+        env = self.context.env
+        tail = self._tail
+
+        def drain() -> Generator[Event, None, None]:
+            if tail is not None and not tail.processed:
+                yield tail
+
+        return env.process(drain())

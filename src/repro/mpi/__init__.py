@@ -1,0 +1,21 @@
+"""A miniature MPI on the simulation kernel.
+
+Two aspects of the paper lean on MPI:
+
+* §II-B: the NCAPI "follows a set of operations that resemble the MPI
+  non-blocking interface" — load_tensor/get_result as isend/wait;
+* §III / Fig. 3: ``MPIStream`` is a planned input source, citing the
+  authors' "A data streaming model in MPI" (ExaMPI'15) [32].
+
+This package provides the substrate those references assume: a
+rank-addressed communicator with blocking and non-blocking
+point-to-point operations, broadcast, barrier and a streaming channel
+— all running on the deterministic DES clock with size-dependent
+transfer costs, so host-side pipelines that mix MPI messaging with NCS
+offload can be simulated end to end.
+"""
+
+from repro.mpi.comm import Communicator, Request, Status
+from repro.mpi.stream import StreamWindow
+
+__all__ = ["Communicator", "Request", "Status", "StreamWindow"]

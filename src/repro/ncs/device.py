@@ -1,0 +1,314 @@
+"""The NCS stick: firmware, FIFOs and the RISC runtime scheduler.
+
+One :class:`NCSDevice` owns a :class:`~repro.vpu.myriad2.Myriad2` chip
+and mediates every host interaction through the USB topology:
+
+* ``boot`` — firmware transfer + RTOS bring-up;
+* ``allocate_graph`` — graph-file transfer + DDR residency;
+* ``submit`` — input-tensor transfer into the input FIFO (the
+  device-side half of ``mvncLoadTensor``);
+* the scheduler process — one of the two RISC cores, which pops the
+  input FIFO, runs the SHAVE array and pushes results to the output
+  FIFO (paper Fig. 2's "runtime scheduler");
+* ``collect`` — result transfer back to the host (the device-side
+  half of ``mvncGetResult``).
+
+Functional execution: when ``functional=True`` the device really runs
+the compiled network in FP16 on the submitted tensor; when False it
+produces zeros — used by the timing benchmarks, where paper-scale
+NumPy inference would dominate wall-clock for no measurement benefit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.errors import DeviceBusy, DeviceClosed, NCAPIError
+from repro.numerics.quant import PrecisionPolicy
+from repro.sim.core import Environment, Event, Interrupt
+from repro.sim.monitor import TraceRecorder
+from repro.sim.resources import Store
+from repro.ncs.firmware import DEFAULT_FIRMWARE, FirmwareImage
+from repro.ncs.thermal import ThermalModel
+from repro.ncs.usb import USBTopology
+from repro.vpu.compiler.compile import CompiledGraph
+from repro.vpu.myriad2 import Myriad2, Myriad2Config
+
+#: Depth of the inference FIFOs (NCSDK v1 allows two tensors in
+#: flight per graph, enabling the load/get overlap of Listing 1).
+FIFO_DEPTH = 2
+
+
+@dataclass
+class _Inference:
+    """One queued inference travelling through the device."""
+
+    seq: int
+    tensor: Optional[np.ndarray]
+    user: Any
+    result: Optional[np.ndarray] = None
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    per_layer: Optional[dict[str, float]] = None
+
+
+class NCSDevice:
+    """One Neural Compute Stick on the simulated bus."""
+
+    def __init__(self, env: Environment, device_id: str,
+                 topology: USBTopology,
+                 firmware: FirmwareImage = DEFAULT_FIRMWARE,
+                 chip_config: Myriad2Config | None = None,
+                 functional: bool = True,
+                 trace: Optional[TraceRecorder] = None,
+                 thermal: Optional["ThermalModel"] = None) -> None:
+        if device_id not in topology.devices:
+            raise NCAPIError(
+                f"device {device_id!r} is not attached to the topology")
+        self.env = env
+        self.device_id = device_id
+        self.topology = topology
+        self.firmware = firmware
+        self.functional = functional
+        self.trace = trace
+        self.chip = Myriad2(env, chip_config, trace=trace,
+                            name=f"{device_id}/chip")
+        self.booted = False
+        self.closed = False
+        self._graph: Optional[CompiledGraph] = None
+        self._graph_handle: Optional[int] = None
+        self._in_fifo = Store(env, capacity=FIFO_DEPTH)
+        self._out_fifo = Store(env, capacity=FIFO_DEPTH)
+        self._seq = itertools.count()
+        self._scheduler: Optional[Event] = None
+        self.inference_times: list[float] = []
+        #: Per-layer seconds of the most recent inference (the NCAPI
+        #: GetGraphOption(TIME_TAKEN) payload).
+        self.last_per_layer: Optional[dict[str, float]] = None
+        #: Optional thermal model; when set, sustained load heats the
+        #: stick and throttles the media clock (see ncs.thermal).
+        self.thermal = thermal
+        #: Active power draw assumed while an inference runs (the NCS
+        #: stick's 2.5 W peak figure).
+        self.active_power_w = 2.5
+        self.idle_power_w = 0.7
+        #: Relative std-dev of per-inference latency noise (testbed
+        #: noise model for error bars; 0 keeps runs deterministic).
+        self.latency_jitter = 0.0
+        import hashlib as _hashlib
+        digest = _hashlib.sha256(
+            f"ncs-jitter:{device_id}".encode()).digest()
+        self._jitter_rng = np.random.default_rng(
+            int.from_bytes(digest[:8], "little"))
+
+    # -- lifecycle ------------------------------------------------------
+    def boot(self) -> Event:
+        """Load firmware and start the RTOS (process event)."""
+        return self.env.process(self._boot())
+
+    def _boot(self) -> Generator[Event, None, None]:
+        self._check_open(require_boot=False)
+        if self.booted:
+            return
+        yield self.topology.transfer(self.device_id, self.firmware.nbytes)
+        yield self.env.timeout(self.firmware.boot_seconds)
+        self.booted = True
+        self.chip.islands.power_on("risc1")
+        self.chip.islands.power_on("usb")
+        self._scheduler = self.env.process(self._scheduler_loop())
+        self._emit("booted", version=self.firmware.version)
+
+    def close(self) -> None:
+        """Tear the device down; subsequent operations fail."""
+        self.closed = True
+        self.booted = False
+
+    def reset(self) -> Event:
+        """``mvncResetDevice`` analogue (process event).
+
+        Drops every in-flight inference, deallocates the resident
+        graph, kills the runtime scheduler and re-boots the firmware.
+        The device comes back ready for a fresh ``allocate_graph``.
+        """
+        return self.env.process(self._reset())
+
+    def _reset(self) -> Generator[Event, None, None]:
+        self._check_open(require_boot=False)
+        if self._scheduler is not None and self._scheduler.is_alive:
+            self._scheduler.interrupt("reset")
+        self._scheduler = None
+        dropped = len(self._in_fifo.items) + len(self._out_fifo.items)
+        self._in_fifo = Store(self.env, capacity=FIFO_DEPTH)
+        self._out_fifo = Store(self.env, capacity=FIFO_DEPTH)
+        if self._graph is not None:
+            assert self._graph_handle is not None
+            self.chip.deallocate_graph(self._graph_handle)
+            self._graph = None
+            self._graph_handle = None
+        self.booted = False
+        self._emit("reset", dropped_inferences=dropped)
+        yield self._boot_inner()
+
+    def _boot_inner(self) -> Event:
+        return self.env.process(self._boot())
+
+    # -- graph management --------------------------------------------------
+    def allocate_graph(self, graph: CompiledGraph) -> Event:
+        """Transfer a compiled graph and make it resident (process)."""
+        return self.env.process(self._allocate(graph))
+
+    def _allocate(self, graph: CompiledGraph
+                  ) -> Generator[Event, None, None]:
+        self._check_open()
+        if self._graph is not None:
+            raise DeviceBusy(
+                f"{self.device_id}: a graph is already allocated")
+        blob_bytes = (graph.weight_bytes_total
+                      + 64 * 1024)  # schedule metadata
+        yield self.topology.transfer(self.device_id, blob_bytes)
+        self._graph_handle = self.chip.allocate_graph(graph)
+        self._graph = graph
+        self._emit("graph_allocated", graph=graph.name,
+                   nbytes=blob_bytes)
+
+    def deallocate_graph(self) -> None:
+        """Release the resident graph."""
+        self._check_open()
+        if self._graph is None:
+            raise NCAPIError(f"{self.device_id}: no graph allocated")
+        assert self._graph_handle is not None
+        self.chip.deallocate_graph(self._graph_handle)
+        self._graph = None
+        self._graph_handle = None
+
+    @property
+    def graph(self) -> Optional[CompiledGraph]:
+        """The currently resident compiled graph, if any."""
+        return self._graph
+
+    # -- inference path ---------------------------------------------------------
+    def submit(self, tensor: Optional[np.ndarray],
+               user: Any = None) -> Event:
+        """Device half of ``mvncLoadTensor`` (process event).
+
+        Transfers the FP16 tensor over USB and enqueues it; completes
+        when the tensor is in the input FIFO (NOT when inference is
+        done).  Backpressure: if the FIFO holds :data:`FIFO_DEPTH`
+        tensors, the transfer waits.
+        """
+        return self.env.process(self._submit(tensor, user))
+
+    def _submit(self, tensor: Optional[np.ndarray],
+                user: Any) -> Generator[Event, None, int]:
+        self._check_open()
+        graph = self._require_graph()
+        nbytes = graph.input_tensor_bytes
+        if tensor is not None:
+            expected = (graph.input_shape.c, graph.input_shape.h,
+                        graph.input_shape.w)
+            if tuple(tensor.shape[-3:]) != expected:
+                raise NCAPIError(
+                    f"tensor shape {tensor.shape} does not match graph "
+                    f"input {expected}")
+        item = _Inference(seq=next(self._seq), tensor=tensor, user=user,
+                          submitted_at=self.env.now)
+        yield self.topology.transfer(self.device_id, nbytes)
+        yield self._in_fifo.put(item)
+        self._emit("tensor_loaded", seq=item.seq, nbytes=nbytes)
+        return item.seq
+
+    def _scheduler_loop(self) -> Generator[Event, None, None]:
+        """The RISC runtime scheduler: FIFO in -> SHAVEs -> FIFO out.
+
+        Terminated by :meth:`reset` via interrupt; in-flight work is
+        dropped, like the real firmware discarding its queues.
+        """
+        try:
+            yield from self._scheduler_body()
+        except Interrupt:
+            return
+
+    def _scheduler_body(self) -> Generator[Event, None, None]:
+        while not self.closed:
+            item: _Inference = yield self._in_fifo.get()
+            graph = self._require_graph()
+            item.started_at = self.env.now
+            if self.thermal is not None:
+                # Idle interval since the last activity, then check
+                # whether the firmware is holding the clock down.
+                self.thermal.update(self.env.now, self.idle_power_w)
+            per_layer = yield self.chip.run_inference(graph)
+            if self.thermal is not None:
+                scale = self.thermal.frequency_scale()
+                if scale < 1.0:
+                    # Throttled media clock stretches the execution.
+                    extra = (self.env.now - item.started_at) * (
+                        1.0 / scale - 1.0)
+                    yield self.env.timeout(extra)
+                self.thermal.update(self.env.now, self.active_power_w)
+            if self.latency_jitter > 0:
+                factor = max(0.5, 1.0 + self._jitter_rng.normal(
+                    0.0, self.latency_jitter))
+                if factor > 1.0:
+                    elapsed = self.env.now - item.started_at
+                    yield self.env.timeout(elapsed * (factor - 1.0))
+            item.per_layer = per_layer
+            self.last_per_layer = per_layer
+            item.result = self._compute_result(graph, item.tensor)
+            item.finished_at = self.env.now
+            self.inference_times.append(
+                item.finished_at - item.started_at)
+            yield self._out_fifo.put(item)
+            self._emit("inference_complete", seq=item.seq,
+                       seconds=item.finished_at - item.started_at)
+
+    def _compute_result(self, graph: CompiledGraph,
+                        tensor: Optional[np.ndarray]) -> np.ndarray:
+        out_shape = (graph.output_shape.c, graph.output_shape.h,
+                     graph.output_shape.w)
+        if not self.functional or tensor is None:
+            return np.zeros(out_shape, dtype=np.float16)
+        x = np.asarray(tensor, dtype=np.float32)
+        if x.ndim == 3:
+            x = x[None]
+        probs = graph.network.forward(x, PrecisionPolicy.fp16())
+        return probs[0].astype(np.float16)
+
+    def collect(self) -> Event:
+        """Device half of ``mvncGetResult`` (process event).
+
+        Completes with ``(result_array, user_object)`` after the oldest
+        finished inference's output has crossed the USB link.
+        """
+        return self.env.process(self._collect())
+
+    def _collect(self) -> Generator[Event, None, tuple]:
+        self._check_open()
+        graph = self._require_graph()
+        item: _Inference = yield self._out_fifo.get()
+        yield self.topology.transfer(self.device_id,
+                                     graph.output_tensor_bytes)
+        self._emit("result_read", seq=item.seq)
+        return item.result, item.user
+
+    # -- helpers -----------------------------------------------------------------
+    def _require_graph(self) -> CompiledGraph:
+        if self._graph is None:
+            raise NCAPIError(
+                f"{self.device_id}: no graph allocated")
+        return self._graph
+
+    def _check_open(self, require_boot: bool = True) -> None:
+        if self.closed:
+            raise DeviceClosed(f"{self.device_id} is closed")
+        if require_boot and not self.booted:
+            raise NCAPIError(f"{self.device_id} is not booted")
+
+    def _emit(self, action: str, **detail) -> None:
+        if self.trace is not None:
+            self.trace.emit(self.device_id, action, **detail)

@@ -1,0 +1,40 @@
+"""NCS firmware image and boot protocol.
+
+When the NCAPI opens a device it pushes a firmware image over USB and
+waits for the RTOS on the RISC processors to come up (paper §II-B).
+Boot cost matters only once per device per run, but modelling it keeps
+the open/close lifecycle honest (and the enumeration tests exercise
+it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NCAPIError
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """A loadable firmware blob."""
+
+    version: str
+    nbytes: int
+    boot_seconds: float  #: RTOS bring-up time after the transfer
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise NCAPIError("firmware image must be non-empty")
+        if self.boot_seconds < 0:
+            raise NCAPIError("boot time must be >= 0")
+
+
+#: The NCSDK version the paper pins (§IV): Neural Compute SDK
+#: v1.12.00.01. The image size and bring-up latency follow the
+#: MvNCAPI.mvcmd shipped with that SDK.
+DEFAULT_FIRMWARE = FirmwareImage(
+    version="1.12.00.01",
+    nbytes=int(1.8 * MB),
+    boot_seconds=0.45,
+)

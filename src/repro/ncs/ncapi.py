@@ -1,0 +1,170 @@
+"""NCAPI — the host-side Neural Compute API.
+
+Mirrors the NCSDK v1 Python/C API the paper programs against
+(Listing 1): device discovery, ``open_device``, ``allocate_graph``,
+the *non-blocking* ``load_tensor`` and the *blocking* ``get_result``
+— a decoupled pair that "resembles the MPI non-blocking interface"
+(paper §II-B) and enables the computation/communication overlap that
+the multi-VPU NCSw scheduler exploits.
+
+Every operation returns a DES event; host code (a process) yields it.
+``load_tensor`` completes as soon as the tensor is transferred and
+queued — the inference itself proceeds in the background, exactly like
+``mvncLoadTensor`` returning after scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import DeviceNotFound, NCAPIError
+from repro.ncs.device import NCSDevice
+from repro.ncs.enumeration import enumerate_devices
+from repro.ncs.firmware import DEFAULT_FIRMWARE, FirmwareImage
+from repro.ncs.usb import USBTopology
+from repro.sim.core import Environment, Event
+from repro.sim.monitor import TraceRecorder
+from repro.vpu.compiler.compile import CompiledGraph
+from repro.vpu.myriad2 import Myriad2Config
+
+
+class GraphHandle:
+    """Handle to a graph allocated on a device (``mvncGraph``)."""
+
+    def __init__(self, device: NCSDevice, graph: CompiledGraph) -> None:
+        self._device = device
+        self._graph = graph
+        self._deallocated = False
+
+    @property
+    def name(self) -> str:
+        """Name of the allocated graph."""
+        return self._graph.name
+
+    def load_tensor(self, tensor: Optional[np.ndarray],
+                    user: Any = None) -> Event:
+        """Non-blocking input submission (``mvncLoadTensor``).
+
+        The returned event completes once the tensor is on the device
+        and queued for execution — *not* when inference finishes.
+        """
+        self._check()
+        return self._device.submit(tensor, user)
+
+    def get_result(self) -> Event:
+        """Blocking result retrieval (``mvncGetResult``).
+
+        Event value is ``(result_fp16_array, user_object)`` for the
+        oldest completed inference.
+        """
+        self._check()
+        return self._device.collect()
+
+    def time_taken(self) -> list[float]:
+        """Per-inference device execution times so far, in seconds."""
+        return list(self._device.inference_times)
+
+    def layer_times(self) -> dict[str, float]:
+        """Per-layer seconds of the most recent inference.
+
+        The ``GetGraphOption(TIME_TAKEN)`` payload of the NCSDK; empty
+        before the first inference completes.
+        """
+        return dict(self._device.last_per_layer or {})
+
+    def deallocate(self) -> None:
+        """Release the graph (``mvncDeallocateGraph``)."""
+        self._check()
+        self._device.deallocate_graph()
+        self._deallocated = True
+
+    def _check(self) -> None:
+        if self._deallocated:
+            raise NCAPIError("graph handle has been deallocated")
+
+
+class DeviceHandle:
+    """Handle to an opened NCS device (``mvncDevice``)."""
+
+    def __init__(self, device: NCSDevice) -> None:
+        self._device = device
+
+    @property
+    def device_id(self) -> str:
+        """Bus identifier of the underlying stick."""
+        return self._device.device_id
+
+    @property
+    def chip(self):
+        """The stick's Myriad 2 chip model (for instrumentation)."""
+        return self._device.chip
+
+    def allocate_graph(self, blob: bytes) -> Event:
+        """Validate + transfer a compiled graph blob (process event).
+
+        Event value is a :class:`GraphHandle`.
+        """
+        graph = CompiledGraph.from_bytes(blob)
+        env = self._device.env
+
+        def _alloc():
+            yield self._device.allocate_graph(graph)
+            return GraphHandle(self._device, graph)
+
+        return env.process(_alloc())
+
+    def allocate_compiled(self, graph: CompiledGraph) -> Event:
+        """Allocate a :class:`CompiledGraph` directly (skips the blob
+        round-trip; used by benchmarks at paper scale where 14 MB of
+        weights would be pickled per run for no benefit)."""
+        env = self._device.env
+
+        def _alloc():
+            yield self._device.allocate_graph(graph)
+            return GraphHandle(self._device, graph)
+
+        return env.process(_alloc())
+
+    def close(self) -> None:
+        """Close the device (``mvncCloseDevice``)."""
+        self._device.close()
+
+
+class NCAPI:
+    """Top-level API object: enumeration and device opening."""
+
+    def __init__(self, env: Environment, topology: USBTopology,
+                 firmware: FirmwareImage = DEFAULT_FIRMWARE,
+                 chip_config: Optional[Myriad2Config] = None,
+                 functional: bool = True,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.env = env
+        self.topology = topology
+        self._devices = enumerate_devices(
+            env, topology, firmware=firmware, chip_config=chip_config,
+            functional=functional, trace=trace)
+
+    def device_names(self) -> list[str]:
+        """IDs of every attached stick (``mvncGetDeviceName`` loop)."""
+        return [d.device_id for d in self._devices]
+
+    def open_device(self, index: int) -> Event:
+        """Boot device *index*; event value is a :class:`DeviceHandle`."""
+        if not 0 <= index < len(self._devices):
+            raise DeviceNotFound(
+                f"device index {index} out of range "
+                f"[0, {len(self._devices)})")
+        device = self._devices[index]
+
+        def _open():
+            yield device.boot()
+            return DeviceHandle(device)
+
+        return self.env.process(_open())
+
+    @property
+    def devices(self) -> list[NCSDevice]:
+        """Raw device objects (for tests and instrumentation)."""
+        return list(self._devices)

@@ -1,0 +1,145 @@
+"""Inference records and run-level aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FrameworkError
+from repro.numerics.stats import RunningStats
+
+
+@dataclass(frozen=True)
+class InferenceRecord:
+    """Outcome of one inference."""
+
+    index: int
+    image_id: int
+    label: Optional[int]
+    predicted: Optional[int]
+    confidence: Optional[float]
+    device: str
+    t_submit: float
+    t_complete: float
+    #: Top-k predicted labels, most confident first (k=5 by default;
+    #: the paper uses top-1 but GoogLeNet is usually judged on both).
+    topk: Optional[tuple[int, ...]] = None
+
+    @property
+    def latency(self) -> float:
+        """Submit-to-complete time of this inference."""
+        return self.t_complete - self.t_submit
+
+    @property
+    def correct(self) -> Optional[bool]:
+        """Top-1 correctness, or None when unlabelled/non-functional."""
+        if self.label is None or self.predicted is None:
+            return None
+        return self.label == self.predicted
+
+    def correct_topk(self, k: int = 5) -> Optional[bool]:
+        """Whether the label appears in the top-k predictions."""
+        if self.label is None or self.topk is None:
+            return None
+        return self.label in self.topk[:k]
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of one source-through-target run."""
+
+    source: str
+    target: str
+    batch_size: int
+    records: list[InferenceRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    decode_seconds_excluded: float = 0.0
+
+    @property
+    def images(self) -> int:
+        """Number of inference records in the run."""
+        return len(self.records)
+
+    def throughput(self) -> float:
+        """Images per second over the run (paper Fig. 6a metric)."""
+        if self.wall_seconds <= 0:
+            raise FrameworkError("run has no elapsed time")
+        return self.images / self.wall_seconds
+
+    def seconds_per_image(self) -> float:
+        """Mean inference time per image."""
+        if self.images == 0:
+            raise FrameworkError("run has no records")
+        return self.wall_seconds / self.images
+
+    def top1_error(self) -> float:
+        """Fraction of labelled images whose top-1 prediction missed."""
+        scored = [r for r in self.records if r.correct is not None]
+        if not scored:
+            raise FrameworkError(
+                "no labelled predictions (non-functional run?)")
+        wrong = sum(1 for r in scored if not r.correct)
+        return wrong / len(scored)
+
+    def topk_error(self, k: int = 5) -> float:
+        """Fraction of labelled images missing from the top-k set."""
+        scored = [r for r in self.records
+                  if r.correct_topk(k) is not None]
+        if not scored:
+            raise FrameworkError(
+                "no top-k predictions recorded for this run")
+        wrong = sum(1 for r in scored if not r.correct_topk(k))
+        return wrong / len(scored)
+
+    def confidences(self) -> np.ndarray:
+        """Confidence values of correctly-predicted images."""
+        return np.array([r.confidence for r in self.records
+                         if r.correct and r.confidence is not None])
+
+    def latency_stats(self) -> RunningStats:
+        """Distribution of per-image submit-to-complete latency."""
+        stats = RunningStats()
+        stats.extend(r.latency for r in self.records)
+        return stats
+
+    def confusion_matrix(self, num_classes: int) -> np.ndarray:
+        """(num_classes, num_classes) count matrix: [truth, predicted].
+
+        Only labelled, predicted records contribute; the diagonal sums
+        to the top-1 hit count.
+        """
+        if num_classes < 1:
+            raise FrameworkError("num_classes must be >= 1")
+        matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+        for r in self.records:
+            if r.label is None or r.predicted is None:
+                continue
+            if not (0 <= r.label < num_classes
+                    and 0 <= r.predicted < num_classes):
+                raise FrameworkError(
+                    f"record labels ({r.label}, {r.predicted}) exceed "
+                    f"num_classes {num_classes}")
+            matrix[r.label, r.predicted] += 1
+        return matrix
+
+    def per_device_counts(self) -> dict[str, int]:
+        """Images handled by each device (round-robin balance check)."""
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.device] = counts.get(r.device, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        parts = [f"{self.source}->{self.target}",
+                 f"{self.images} images",
+                 f"batch {self.batch_size}",
+                 f"{self.wall_seconds * 1000:.1f} ms",
+                 f"{self.throughput():.1f} img/s"]
+        try:
+            parts.append(f"top-1 err {self.top1_error():.4f}")
+        except FrameworkError:
+            pass
+        return " | ".join(parts)

@@ -1,0 +1,202 @@
+"""Input sources (the ``SourceImage`` side of the paper's Fig. 3).
+
+A source is a re-iterable stream of :class:`WorkItem` objects.  The
+framework iterates a fresh pass for every run, so sources must yield
+the same items on every iteration (all our generators are
+deterministic, so this comes for free).
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+import numpy as np
+
+from repro.data.decode import JPEGDecoder
+from repro.data.ilsvrc import ILSVRCValidation
+from repro.data.preprocess import Preprocessor
+from repro.errors import FrameworkError
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One unit of inference work flowing through the framework."""
+
+    index: int
+    image_id: int
+    label: Optional[int]
+    tensor: Optional[np.ndarray] = field(repr=False, default=None)
+
+
+class SourceImage:
+    """Abstract base of input sources."""
+
+    name = "source"
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class ImageFolder(SourceImage):
+    """A directory of validation images (one ILSVRC subset).
+
+    Decodes through the simulated JPEG decoder (whose time the paper
+    excludes from results — available via :attr:`decoder`) and
+    preprocesses to the network's input geometry.
+    """
+
+    name = "image_folder"
+
+    def __init__(self, dataset: ILSVRCValidation, subset: int,
+                 preprocessor: Preprocessor,
+                 limit: Optional[int] = None) -> None:
+        self.dataset = dataset
+        self.subset = subset
+        self.preprocessor = preprocessor
+        self.limit = limit
+        self.decoder = JPEGDecoder(dataset.synthesizer)
+        self._ids = list(dataset.subset_ids(subset))
+        if limit is not None:
+            if limit < 1:
+                raise FrameworkError(f"limit must be >= 1, got {limit}")
+            self._ids = self._ids[:limit]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        for index, image_id in enumerate(self._ids):
+            record = self.dataset.record(image_id)
+            pixels = self.decoder.decode(record.label, record.image_id)
+            tensor = self.preprocessor(pixels)
+            yield WorkItem(index=index, image_id=image_id,
+                           label=record.label, tensor=tensor)
+
+
+class DiskImageFolder(SourceImage):
+    """A real directory of PPM validation images on disk.
+
+    Reads the layout :meth:`repro.data.ilsvrc.ILSVRCValidation.
+    export_to_dir` writes: ``*.ppm`` files plus
+    ``val_ground_truth.txt``.  This is the closest analogue to the
+    paper's harness walking 50 000 JPEGs with OpenCV.
+    """
+
+    name = "disk_image_folder"
+
+    def __init__(self, directory, preprocessor: Preprocessor,
+                 limit: Optional[int] = None) -> None:
+        from pathlib import Path
+
+        self.directory = Path(directory)
+        self.preprocessor = preprocessor
+        truth_path = self.directory / "val_ground_truth.txt"
+        if not truth_path.exists():
+            raise FrameworkError(
+                f"{self.directory}: no val_ground_truth.txt — not an "
+                f"exported validation directory")
+        self._entries: list[tuple[int, int, str]] = []
+        for line in truth_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            image_id, label, _wnid = line.split()
+            self._entries.append((int(image_id), int(label),
+                                  f"ILSVRC2012_val_{int(image_id):08d}"
+                                  f".ppm"))
+        if limit is not None:
+            if limit < 1:
+                raise FrameworkError(f"limit must be >= 1, got {limit}")
+            self._entries = self._entries[:limit]
+        if not self._entries:
+            raise FrameworkError(f"{self.directory}: empty ground truth")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        from repro.data.ppm import read_ppm
+
+        for index, (image_id, label, filename) in enumerate(
+                self._entries):
+            pixels = read_ppm(self.directory / filename)
+            yield WorkItem(index=index, image_id=image_id, label=label,
+                           tensor=self.preprocessor(pixels))
+
+
+class SyntheticSource(SourceImage):
+    """*count* timing-only items (no pixels, no labels).
+
+    Used by the performance benchmarks, where the devices run in
+    non-functional mode and only the simulated clock matters.
+    """
+
+    name = "synthetic"
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise FrameworkError(f"count must be >= 1, got {count}")
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        for index in range(self.count):
+            yield WorkItem(index=index, image_id=index + 1, label=None,
+                           tensor=None)
+
+
+class MPIStream(SourceImage):
+    """An MPI-style streamed source (paper Fig. 3's ``MPIStream``).
+
+    Models the data-streaming MPI extension the authors cite [32]: a
+    producer rank posts messages (tagged payloads) into a stream; the
+    consumer drains them in order.  In-process here — the point is the
+    pluggable-source architecture, not distribution.
+    """
+
+    name = "mpi_stream"
+    _EOS = object()  #: end-of-stream sentinel
+
+    def __init__(self, source_rank: int = 0) -> None:
+        self.source_rank = source_rank
+        self._queue: collections.deque = collections.deque()
+        self._closed = False
+        self._count = 0
+
+    # -- producer API -----------------------------------------------------
+    def send(self, tensor: Optional[np.ndarray],
+             label: Optional[int] = None, tag: Any = None) -> None:
+        """Post one image into the stream (like ``MPI_Send`` to it)."""
+        if self._closed:
+            raise FrameworkError("stream is closed")
+        self._count += 1
+        self._queue.append((self._count, tensor, label, tag))
+
+    def close(self) -> None:
+        """Mark end-of-stream; iteration stops after the last message."""
+        self._closed = True
+        self._queue.append(self._EOS)
+
+    # -- consumer API ---------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        if not self._closed:
+            raise FrameworkError(
+                "MPIStream must be closed before iteration (all "
+                "messages posted)")
+        index = 0
+        for entry in list(self._queue):
+            if entry is self._EOS:
+                break
+            image_id, tensor, label, _tag = entry
+            yield WorkItem(index=index, image_id=image_id, label=label,
+                           tensor=tensor)
+            index += 1

@@ -1,0 +1,216 @@
+"""Target devices (the ``TargetDevice`` side of the paper's Fig. 3).
+
+Each target knows how to prepare itself inside a simulation
+environment and how to process a batch of work items, returning
+:class:`~repro.ncsw.results.InferenceRecord` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.baselines.cpu import CPUDevice
+from repro.baselines.device import InferenceDevice
+from repro.baselines.gpu import GPUDevice
+from repro.errors import FrameworkError
+from repro.ncs.ncapi import NCAPI, GraphHandle
+from repro.ncs.usb import paper_testbed_topology
+from repro.ncsw.results import InferenceRecord
+from repro.ncsw.scheduler import MultiVPUScheduler
+from repro.ncsw.sources import WorkItem
+from repro.nn.graph import Network
+from repro.sim.core import Environment, Event
+from repro.vpu.compiler.compile import CompiledGraph, compile_graph
+from repro.vpu.myriad2 import Myriad2Config
+
+
+class TargetDevice:
+    """Abstract target: prepare once, then process batches."""
+
+    name = "target"
+    tdp_watts = 0.0
+
+    def prepare(self, env: Environment) -> Event:
+        """Bring the target up (boot, graph allocation...)."""
+        raise NotImplementedError
+
+    def process_batch(self, items: list[WorkItem]) -> Event:
+        """Process a batch; event value is a list of records."""
+        raise NotImplementedError
+
+    @property
+    def device_count(self) -> int:
+        """Number of physical devices this target drives."""
+        return 1
+
+
+class _HostTarget(TargetDevice):
+    """Shared implementation of the CPU/GPU Caffe-batch targets."""
+
+    _device_cls: type[InferenceDevice]
+
+    def __init__(self, network: Network, functional: bool = True,
+                 jitter: float = 0.0) -> None:
+        self.network = network
+        self.functional = functional
+        self.jitter = jitter
+        self._device: Optional[InferenceDevice] = None
+        self._env: Optional[Environment] = None
+
+    def prepare(self, env: Environment) -> Event:
+        self._env = env
+        self._device = self._device_cls(env, self.network,
+                                        functional=self.functional,
+                                        jitter=self.jitter)
+        # Host frameworks have a warm-up (weight loading, MKL/cuDNN
+        # autotune) that the paper excludes; model it as a fixed cost
+        # during preparation.
+        return env.timeout(0.5)
+
+    @property
+    def tdp_watts(self) -> float:  # type: ignore[override]
+        return self._device_cls.tdp_watts
+
+    def process_batch(self, items: list[WorkItem]) -> Event:
+        if self._device is None or self._env is None:
+            raise FrameworkError(f"{self.name}: prepare() not called")
+        return self._env.process(self._process(items))
+
+    def _process(self, items: list[WorkItem]
+                 ) -> Generator[Event, None, list[InferenceRecord]]:
+        assert self._device is not None and self._env is not None
+        t0 = self._env.now
+        tensors = [i.tensor for i in items]
+        x = (np.stack(tensors) if all(t is not None for t in tensors)
+             else None)
+        probs = yield self._device.run_batch(x, batch=len(items))
+        records = []
+        for pos, item in enumerate(items):
+            predicted = confidence = topk = None
+            if probs is not None:
+                flat = probs[pos].ravel()
+                predicted = int(flat.argmax())
+                confidence = float(flat[predicted])
+                k = min(5, flat.size)
+                order = np.argpartition(flat, -k)[-k:]
+                topk = tuple(
+                    int(i) for i in order[np.argsort(-flat[order])])
+            records.append(InferenceRecord(
+                index=item.index, image_id=item.image_id,
+                label=item.label, predicted=predicted,
+                confidence=confidence, device=self.name,
+                t_submit=t0, t_complete=self._env.now, topk=topk))
+        return records
+
+
+class IntelCPU(_HostTarget):
+    """Caffe-MKL batch processing on the dual Xeon host."""
+
+    name = "cpu"
+    _device_cls = CPUDevice
+
+
+class NvGPU(_HostTarget):
+    """Caffe-cuDNN batch processing on the Quadro K4000."""
+
+    name = "gpu"
+    _device_cls = GPUDevice
+
+
+class IntelVPU(TargetDevice):
+    """The parallel multi-VPU target (paper §III, Fig. 4).
+
+    Parameters
+    ----------
+    network:
+        Network to compile for the sticks (ignored if ``graph`` given).
+    num_devices:
+        NCS sticks to drive (1-8, the paper's testbed).
+    functional:
+        Whether sticks execute the network for real.
+    overlap:
+        Double-buffered load/get (the paper's design) vs serialised
+        (ablation).
+    graph:
+        A pre-compiled graph to reuse (saves recompilation in sweeps).
+    """
+
+    name = "vpu"
+
+    def __init__(self, network: Optional[Network] = None, *,
+                 num_devices: int = 8,
+                 functional: bool = True,
+                 overlap: bool = True,
+                 graph: Optional[CompiledGraph] = None,
+                 chip_config: Optional[Myriad2Config] = None,
+                 jitter: float = 0.0,
+                 dynamic: bool = False) -> None:
+        if network is None and graph is None:
+            raise FrameworkError("IntelVPU needs a network or a graph")
+        if not 1 <= num_devices <= 8:
+            raise FrameworkError(
+                f"the testbed drives 1-8 sticks, got {num_devices}")
+        self.num_devices = num_devices
+        self.functional = functional
+        self.overlap = overlap
+        self.chip_config = chip_config
+        self.jitter = jitter
+        self.dynamic = dynamic
+        self._graph = graph if graph is not None else compile_graph(
+            network)  # type: ignore[arg-type]
+        self._env: Optional[Environment] = None
+        self._handles: list[GraphHandle] = []
+        self.api: Optional[NCAPI] = None
+
+    @property
+    def tdp_watts(self) -> float:  # type: ignore[override]
+        """Whole-rig TDP: one NCS stick TDP per device (paper Fig. 8a)."""
+        from repro.power.tdp import DEFAULT_TDP
+        return DEFAULT_TDP.watts("ncs", self.num_devices)
+
+    @property
+    def device_count(self) -> int:
+        return self.num_devices
+
+    @property
+    def compiled_graph(self) -> CompiledGraph:
+        """The compiled graph resident on every stick."""
+        return self._graph
+
+    def prepare(self, env: Environment) -> Event:
+        self._env = env
+        topo = paper_testbed_topology(env, num_devices=self.num_devices)
+        self.api = NCAPI(env, topo, functional=self.functional,
+                         chip_config=self.chip_config)
+        for device in self.api.devices:
+            device.latency_jitter = self.jitter
+        return env.process(self._prepare())
+
+    def _prepare(self) -> Generator[Event, None, None]:
+        assert self.api is not None
+        # Boot every stick and allocate the graph, concurrently —
+        # exactly what NCSw does at start-up.
+        opens = [self.api.open_device(i)
+                 for i in range(self.num_devices)]
+        handles = yield self._env.all_of(opens)  # type: ignore[union-attr]
+        device_handles = [handles[ev] for ev in opens]
+        allocs = [dh.allocate_compiled(self._graph)
+                  for dh in device_handles]
+        graphs = yield self._env.all_of(allocs)  # type: ignore[union-attr]
+        self._handles = [graphs[ev] for ev in allocs]
+
+    def process_batch(self, items: list[WorkItem]) -> Event:
+        if self._env is None or not self._handles:
+            raise FrameworkError("IntelVPU: prepare() not called")
+        return self._env.process(self._process(items))
+
+    def _process(self, items: list[WorkItem]
+                 ) -> Generator[Event, None, list[InferenceRecord]]:
+        assert self._env is not None
+        scheduler = MultiVPUScheduler(self._env, self._handles,
+                                      overlap=self.overlap,
+                                      dynamic=self.dynamic)
+        yield scheduler.run(items)
+        return scheduler.records

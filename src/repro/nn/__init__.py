@@ -1,0 +1,50 @@
+"""From-scratch CNN inference engine (the Caffe substrate).
+
+The paper's three execution targets all consume the same pre-trained
+Caffe GoogLeNet; this package provides the equivalent substrate: NCHW
+layer implementations with Caffe semantics, a DAG network container,
+the full GoogLeNet topology (Szegedy et al., 2015) and a deterministic
+synthetic-pretrained weight store.
+
+Only inference is implemented — the NCS platform performs no training
+(paper §II-B, footnote 2), and neither do we.
+"""
+
+from repro.nn.layer import Layer, LAYER_REGISTRY, register_layer
+from repro.nn.conv import Convolution
+from repro.nn.relu import ReLU
+from repro.nn.pool import Pooling, PoolMethod
+from repro.nn.lrn import LRN
+from repro.nn.concat import Concat
+from repro.nn.inner_product import InnerProduct
+from repro.nn.softmax import Softmax
+from repro.nn.dropout import Dropout
+from repro.nn.graph import Network
+from repro.nn.googlenet import build_googlenet, GoogLeNetConfig
+from repro.nn.alexnet import build_alexnet, AlexNetConfig
+from repro.nn.weights import WeightStore, initialize_network
+from repro.nn.zoo import get_model, list_models
+
+__all__ = [
+    "Layer",
+    "LAYER_REGISTRY",
+    "register_layer",
+    "Convolution",
+    "ReLU",
+    "Pooling",
+    "PoolMethod",
+    "LRN",
+    "Concat",
+    "InnerProduct",
+    "Softmax",
+    "Dropout",
+    "Network",
+    "build_googlenet",
+    "GoogLeNetConfig",
+    "build_alexnet",
+    "AlexNetConfig",
+    "WeightStore",
+    "initialize_network",
+    "get_model",
+    "list_models",
+]

@@ -1,0 +1,83 @@
+"""Convolution layer (Caffe semantics, square kernels, groups)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layer import Layer, register_layer
+from repro.tensors.im2col import conv2d_gemm
+from repro.tensors.layout import BlobShape, conv_output_hw
+
+
+@register_layer
+class Convolution(Layer):
+    """2-D convolution lowered to GEMM via im2col.
+
+    Parameters mirror Caffe's ``convolution_param``: ``num_output``,
+    ``kernel_size``, ``stride``, ``pad`` and ``group`` (grouped
+    convolution, as AlexNet's conv2/4/5 use).  Weights are laid out
+    ``(num_output, in_channels / group, k, k)``.
+    """
+
+    def __init__(self, name: str, bottom: str, top: str, *,
+                 num_output: int, kernel_size: int, in_channels: int,
+                 stride: int = 1, pad: int = 0, group: int = 1) -> None:
+        super().__init__(name, [bottom], [top])
+        if num_output < 1:
+            raise ValueError(f"{name}: num_output must be >= 1")
+        if group < 1:
+            raise ValueError(f"{name}: group must be >= 1")
+        if in_channels % group or num_output % group:
+            raise ShapeError(
+                f"{name}: group {group} must divide in_channels "
+                f"{in_channels} and num_output {num_output}")
+        self.num_output = num_output
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        self.in_channels = in_channels
+        self.group = group
+        self.params = {
+            "weight": np.zeros(
+                (num_output, in_channels // group, kernel_size,
+                 kernel_size), dtype=np.float32),
+            "bias": np.zeros(num_output, dtype=np.float32),
+        }
+
+    def output_shapes(
+            self, input_shapes: Sequence[BlobShape]) -> list[BlobShape]:
+        self._expect_bottoms(input_shapes, 1)
+        s = input_shapes[0]
+        if s.c != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: input channels {s.c} != configured "
+                f"{self.in_channels}")
+        oh, ow = conv_output_hw(s.h, s.w, self.kernel_size, self.stride,
+                                self.pad)
+        return [BlobShape(s.n, self.num_output, oh, ow)]
+
+    def forward(self, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        x = inputs[0]
+        w = self.params["weight"]
+        b = self.params["bias"]
+        if self.group == 1:
+            return [conv2d_gemm(x, w, b, self.stride, self.pad)]
+        # Grouped path: split channels, convolve per group, concat.
+        cin_g = self.in_channels // self.group
+        cout_g = self.num_output // self.group
+        outs = []
+        for g in range(self.group):
+            xg = x[:, g * cin_g:(g + 1) * cin_g]
+            wg = w[g * cout_g:(g + 1) * cout_g]
+            bg = b[g * cout_g:(g + 1) * cout_g]
+            outs.append(conv2d_gemm(xg, wg, bg, self.stride, self.pad))
+        return [np.concatenate(outs, axis=1)]
+
+    def macs(self, input_shapes: Sequence[BlobShape]) -> int:
+        out = self.output_shapes(input_shapes)[0]
+        per_output = (self.in_channels // self.group
+                      ) * self.kernel_size ** 2
+        return out.count * per_output

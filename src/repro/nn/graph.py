@@ -1,0 +1,240 @@
+"""DAG network container with Caffe-style named blobs.
+
+A :class:`Network` is an ordered list of layers wired by blob names.
+Construction validates the wiring (every bottom must be produced before
+it is consumed; exactly one producer per blob), so execution is a simple
+in-order sweep — the same invariant Caffe's net initialisation enforces.
+
+Execution takes a :class:`~repro.numerics.quant.PrecisionPolicy`:
+
+* FP32 — the reference CPU/GPU path; weights and activations untouched.
+* FP16 — the VPU path; weights rounded once (cached), every layer
+  output rounded through binary16 before the next layer reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError, ShapeError
+from repro.numerics.quant import PrecisionPolicy
+from repro.nn.layer import Layer
+from repro.tensors.layout import BlobShape
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Static per-layer cost summary used by compilers and timing models."""
+
+    name: str
+    type_name: str
+    macs: int
+    param_bytes: int
+    activation_bytes: int
+
+
+class Network:
+    """An inference network: input blob + ordered, validated layers."""
+
+    def __init__(self, name: str, input_blob: str,
+                 input_shape: BlobShape) -> None:
+        self.name = name
+        self.input_blob = input_blob
+        self.input_shape = input_shape
+        self.layers: list[Layer] = []
+        self._producers: dict[str, str] = {input_blob: "<input>"}
+        # Cache of FP16-quantised parameters, built lazily per layer.
+        self._fp16_params: dict[str, dict[str, np.ndarray]] = {}
+
+    # -- construction ---------------------------------------------------
+    def add(self, layer: Layer) -> Layer:
+        """Append a layer, validating blob wiring."""
+        if any(l.name == layer.name for l in self.layers):
+            raise GraphError(f"duplicate layer name {layer.name!r}")
+        for bottom in layer.bottoms:
+            if bottom not in self._producers:
+                raise GraphError(
+                    f"layer {layer.name!r} reads undefined blob "
+                    f"{bottom!r}")
+        for top in layer.tops:
+            if top in self._producers and top not in layer.bottoms:
+                # In-place layers (ReLU top == bottom) are allowed,
+                # matching Caffe's in-place computation convention.
+                raise GraphError(
+                    f"blob {top!r} already produced by "
+                    f"{self._producers[top]!r}")
+            self._producers[top] = layer.name
+        self.layers.append(layer)
+        self._fp16_params.pop(layer.name, None)
+        return layer
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def layer(self, name: str) -> Layer:
+        """Look up a layer by name."""
+        for l in self.layers:
+            if l.name == name:
+                return l
+        raise GraphError(f"no layer named {name!r} in {self.name!r}")
+
+    @property
+    def output_blob(self) -> str:
+        """The top of the final layer."""
+        if not self.layers:
+            raise GraphError(f"network {self.name!r} has no layers")
+        return self.layers[-1].tops[-1]
+
+    # -- shape inference -------------------------------------------------
+    def infer_shapes(
+            self, batch: Optional[int] = None) -> dict[str, BlobShape]:
+        """Shapes of every blob for the given batch size."""
+        shape = (self.input_shape if batch is None
+                 else self.input_shape.with_batch(batch))
+        shapes: dict[str, BlobShape] = {self.input_blob: shape}
+        for layer in self.layers:
+            inputs = [shapes[b] for b in layer.bottoms]
+            for top, out in zip(layer.tops, layer.output_shapes(inputs)):
+                shapes[top] = out
+        return shapes
+
+    def validate(self) -> None:
+        """Run shape inference end-to-end; raises on any mismatch."""
+        self.infer_shapes()
+
+    # -- cost model --------------------------------------------------------
+    def layer_costs(self, batch: int = 1) -> list[LayerCost]:
+        """Static cost table (MACs, bytes) for every layer."""
+        shapes = self.infer_shapes(batch)
+        costs = []
+        for layer in self.layers:
+            inputs = [shapes[b] for b in layer.bottoms]
+            costs.append(LayerCost(
+                name=layer.name,
+                type_name=layer.type_name(),
+                macs=layer.macs(inputs),
+                param_bytes=layer.param_bytes(),
+                activation_bytes=layer.activation_bytes(inputs),
+            ))
+        return costs
+
+    def total_macs(self, batch: int = 1) -> int:
+        """Total multiply-accumulates for one forward pass."""
+        return sum(c.macs for c in self.layer_costs(batch))
+
+    def total_param_bytes(self, bytes_per_element: int = 4) -> int:
+        """Total parameter storage at the given precision."""
+        return sum(l.param_bytes(bytes_per_element) for l in self.layers)
+
+    # -- execution ------------------------------------------------------------
+    def _params_for(self, layer: Layer,
+                    policy: PrecisionPolicy) -> dict[str, np.ndarray]:
+        if (not policy.quantize_weights or not layer.params
+                or not policy.applies_to(layer.name)):
+            return layer.params
+        cached = self._fp16_params.get(layer.name)
+        if cached is None:
+            cached = {role: policy.quantize_weight_array(arr)
+                      for role, arr in layer.params.items()}
+            self._fp16_params[layer.name] = cached
+        return cached
+
+    def invalidate_weight_cache(self) -> None:
+        """Drop cached quantised weights (call after mutating params)."""
+        self._fp16_params.clear()
+
+    def forward(self, x: np.ndarray,
+                policy: Optional[PrecisionPolicy] = None,
+                capture: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Run inference on a batch.
+
+        Parameters
+        ----------
+        x:
+            Input batch, NCHW float array.
+        policy:
+            Precision policy (default FP32 reference).
+        capture:
+            Optional blob names whose values to retain; retrieve with
+            :meth:`forward_with_blobs` instead for the full mapping.
+        """
+        out, _ = self.forward_with_blobs(x, policy, capture or ())
+        return out
+
+    def forward_with_blobs(
+            self, x: np.ndarray, policy: Optional[PrecisionPolicy] = None,
+            capture: Sequence[str] = (),
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Like :meth:`forward`, also returning requested blob values."""
+        policy = policy or PrecisionPolicy.fp32()
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim != 4:
+            raise ShapeError(f"input must be NCHW, got ndim={x.ndim}")
+        expected = self.input_shape
+        if x.shape[1:] != (expected.c, expected.h, expected.w):
+            raise ShapeError(
+                f"input shape {x.shape[1:]} != network geometry "
+                f"({expected.c}, {expected.h}, {expected.w})")
+
+        if policy.layer_filter is None:
+            # Host-side FP16 input conversion (the OpenEXR step); the
+            # per-layer ablation policies keep the input in FP32 so
+            # only the selected layers contribute drift.
+            x = policy.quantize_activation_array(x)
+        blobs: dict[str, np.ndarray] = {self.input_blob: x}
+        captured: dict[str, np.ndarray] = {}
+        # Reference counts let us free dead activations as we sweep —
+        # keeps peak memory near the network's true working set.
+        refcount: dict[str, int] = {}
+        for layer in self.layers:
+            for b in layer.bottoms:
+                refcount[b] = refcount.get(b, 0) + 1
+        keep = set(capture) | {self.output_blob}
+
+        for layer in self.layers:
+            inputs = [blobs[b] for b in layer.bottoms]
+            saved_params = None
+            applies = policy.applies_to(layer.name)
+            if policy.quantize_weights and layer.params and applies:
+                saved_params = layer.params
+                layer.params = self._params_for(layer, policy)
+            try:
+                outputs = layer.forward(inputs)
+            finally:
+                if saved_params is not None:
+                    layer.params = saved_params
+            for top, out in zip(layer.tops, outputs):
+                out = np.asarray(out, dtype=np.float32)
+                if applies:
+                    out = policy.quantize_activation_array(out)
+                blobs[top] = out
+                if top in keep:
+                    captured[top] = out
+            for b in layer.bottoms:
+                refcount[b] -= 1
+                if refcount[b] == 0 and b not in keep:
+                    blobs.pop(b, None)
+
+        return blobs[self.output_blob], captured
+
+    def predict(self, x: np.ndarray,
+                policy: Optional[PrecisionPolicy] = None
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-1 labels and confidences for a batch.
+
+        Returns ``(labels, confidences)`` where labels has shape (N,)
+        and confidences the corresponding softmax probabilities.
+        """
+        probs = self.forward(x, policy).reshape(x.shape[0], -1)
+        labels = probs.argmax(axis=1)
+        return labels, probs[np.arange(len(labels)), labels]
+
+    def __repr__(self) -> str:
+        return (f"<Network {self.name!r} layers={len(self.layers)} "
+                f"input={self.input_shape}>")

@@ -1,0 +1,59 @@
+"""Local Response Normalisation (across channels).
+
+GoogLeNet's stem uses two LRN layers with Caffe defaults
+(``local_size=5, alpha=1e-4, beta=0.75``).  The across-channel variant
+normalises each activation by a window of neighbouring channels:
+
+    y = x / (k + alpha/n * sum(x_j^2 for j in window))^beta
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layer import Layer, register_layer
+from repro.tensors.layout import BlobShape
+
+
+@register_layer
+class LRN(Layer):
+    """Across-channel local response normalisation."""
+
+    def __init__(self, name: str, bottom: str, top: str, *,
+                 local_size: int = 5, alpha: float = 1e-4,
+                 beta: float = 0.75, k: float = 1.0) -> None:
+        super().__init__(name, [bottom], [top])
+        if local_size < 1 or local_size % 2 == 0:
+            raise ShapeError(
+                f"{name}: local_size must be odd and >= 1, got {local_size}")
+        self.local_size = local_size
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.k = float(k)
+
+    def output_shapes(
+            self, input_shapes: Sequence[BlobShape]) -> list[BlobShape]:
+        self._expect_bottoms(input_shapes, 1)
+        return [input_shapes[0]]
+
+    def forward(self, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        x = inputs[0]
+        c = x.shape[1]
+        half = self.local_size // 2
+        sq = x.astype(np.float32) ** 2
+        # Sliding-window channel sum via a padded cumulative sum:
+        # window_sum[c] = cum[c + half + 1] - cum[c - half].
+        cum = np.cumsum(
+            np.pad(sq, ((0, 0), (1, 0), (0, 0), (0, 0))), axis=1)
+        hi = np.minimum(np.arange(c) + half + 1, c)
+        lo = np.maximum(np.arange(c) - half, 0)
+        window = cum[:, hi] - cum[:, lo]
+        scale = (self.k + (self.alpha / self.local_size) * window)
+        return [(x * scale ** (-self.beta)).astype(np.float32, copy=False)]
+
+    def macs(self, input_shapes: Sequence[BlobShape]) -> int:
+        # square + window add + pow + divide per element ~ local_size ops
+        return input_shapes[0].count * self.local_size

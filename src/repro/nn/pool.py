@@ -1,0 +1,99 @@
+"""Max and average pooling with Caffe ceil-mode geometry."""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layer import Layer, register_layer
+from repro.tensors.layout import BlobShape, pool_output_hw
+
+
+class PoolMethod(enum.Enum):
+    """Pooling operators supported by Caffe's ``PoolingParameter``."""
+
+    MAX = "max"
+    AVE = "ave"
+
+
+@register_layer
+class Pooling(Layer):
+    """Spatial pooling.
+
+    ``global_pooling=True`` pools the whole feature map regardless of
+    input size (Caffe's ``global_pooling``), used for GoogLeNet's final
+    average pool so the topology works at any input geometry.
+
+    Average pooling uses *inclusive* counting over the padded window
+    (Caffe's historical behaviour).
+    """
+
+    def __init__(self, name: str, bottom: str, top: str, *,
+                 method: PoolMethod = PoolMethod.MAX,
+                 kernel_size: int = 2, stride: int = 1, pad: int = 0,
+                 global_pooling: bool = False) -> None:
+        super().__init__(name, [bottom], [top])
+        self.method = method
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        self.global_pooling = global_pooling
+        if global_pooling and pad != 0:
+            raise ShapeError(f"{name}: global pooling cannot be padded")
+
+    def _geometry(self, s: BlobShape) -> tuple[int, int, int]:
+        """(kernel_h==kernel_w, stride, pad) resolved for this input."""
+        if self.global_pooling:
+            if s.h != s.w:
+                raise ShapeError(
+                    f"{self.name}: global pooling needs square input, "
+                    f"got {s.h}x{s.w}")
+            return s.h, 1, 0
+        return self.kernel_size, self.stride, self.pad
+
+    def output_shapes(
+            self, input_shapes: Sequence[BlobShape]) -> list[BlobShape]:
+        self._expect_bottoms(input_shapes, 1)
+        s = input_shapes[0]
+        k, stride, pad = self._geometry(s)
+        oh, ow = pool_output_hw(s.h, s.w, k, stride, pad)
+        return [BlobShape(s.n, s.c, oh, ow)]
+
+    def forward(self, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        x = inputs[0]
+        n, c, h, w = x.shape
+        s = BlobShape(n, c, h, w)
+        k, stride, pad = self._geometry(s)
+        oh, ow = pool_output_hw(h, w, k, stride, pad)
+
+        if self.method is PoolMethod.MAX:
+            fill = np.float32(-np.inf)
+        else:
+            fill = np.float32(0.0)
+        xp = np.full((n, c, h + 2 * pad + k, w + 2 * pad + k), fill,
+                     dtype=x.dtype)
+        xp[:, :, pad:pad + h, pad:pad + w] = x
+
+        # Gather every window with one strided fancy-index per (di, dj)
+        # offset — k*k vectorised slices instead of oh*ow Python loops.
+        rows = stride * np.arange(oh)
+        cols = stride * np.arange(ow)
+        stack = np.empty((k * k, n, c, oh, ow), dtype=x.dtype)
+        for di in range(k):
+            sub = xp[:, :, rows + di, :]
+            for dj in range(k):
+                stack[di * k + dj] = sub[:, :, :, cols + dj]
+
+        if self.method is PoolMethod.MAX:
+            return [stack.max(axis=0)]
+        # Caffe averages over the full k*k window including padding.
+        return [stack.sum(axis=0) / np.float32(k * k)]
+
+    def macs(self, input_shapes: Sequence[BlobShape]) -> int:
+        out = self.output_shapes(input_shapes)[0]
+        s = input_shapes[0]
+        k, _, _ = self._geometry(s)
+        return out.count * k * k

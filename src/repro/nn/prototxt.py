@@ -1,0 +1,254 @@
+"""Caffe-deploy-prototxt serialisation.
+
+The paper's pipeline consumes Caffe model definitions (a
+``deploy.prototxt`` plus a ``.caffemodel``); this module emits and
+parses the same protobuf-text shape for our networks, so model
+definitions are inspectable, diffable text — and the parser rebuilds a
+working :class:`~repro.nn.graph.Network` from it (channel counts are
+inferred by propagating shapes, exactly as Caffe's net initialisation
+does).
+
+Weights travel separately (:func:`repro.nn.weights.save_weights` /
+``load_weights`` — the ``.caffemodel`` role).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator
+
+from repro.errors import GraphError
+from repro.nn.concat import Concat
+from repro.nn.conv import Convolution
+from repro.nn.dropout import Dropout
+from repro.nn.graph import Network
+from repro.nn.inner_product import InnerProduct
+from repro.nn.lrn import LRN
+from repro.nn.pool import Pooling, PoolMethod
+from repro.nn.relu import ReLU
+from repro.nn.softmax import Softmax
+from repro.tensors.layout import BlobShape
+
+
+# ---------------------------------------------------------------------------
+# emission
+# ---------------------------------------------------------------------------
+
+def _param_block(name: str, params: dict[str, Any], indent: int) -> str:
+    pad = " " * indent
+    lines = [f"{pad}{name} {{"]
+    for key, value in params.items():
+        if isinstance(value, str):
+            lines.append(f'{pad}  {key}: "{value}"')
+        elif isinstance(value, bool):
+            lines.append(f"{pad}  {key}: {'true' if value else 'false'}")
+        else:
+            lines.append(f"{pad}  {key}: {value}")
+    lines.append(f"{pad}}}")
+    return "\n".join(lines)
+
+
+def _layer_params(layer) -> tuple[str, dict[str, Any]] | None:
+    """(param block name, fields) for a layer, or None if it has none."""
+    t = layer.type_name()
+    if t == "Convolution":
+        return "convolution_param", {
+            "num_output": layer.num_output,
+            "kernel_size": layer.kernel_size,
+            "stride": layer.stride,
+            "pad": layer.pad,
+        }
+    if t == "Pooling":
+        fields: dict[str, Any] = {
+            "pool": "MAX" if layer.method is PoolMethod.MAX else "AVE"}
+        if layer.global_pooling:
+            fields["global_pooling"] = True
+        else:
+            fields.update(kernel_size=layer.kernel_size,
+                          stride=layer.stride, pad=layer.pad)
+        return "pooling_param", fields
+    if t == "LRN":
+        return "lrn_param", {"local_size": layer.local_size,
+                             "alpha": layer.alpha, "beta": layer.beta}
+    if t == "InnerProduct":
+        return "inner_product_param", {"num_output": layer.num_output}
+    if t == "Dropout":
+        return "dropout_param", {"dropout_ratio": layer.dropout_ratio}
+    if t == "ReLU" and layer.negative_slope != 0.0:
+        return "relu_param", {"negative_slope": layer.negative_slope}
+    return None
+
+
+def to_prototxt(net: Network) -> str:
+    """Emit the network as deploy-prototxt text."""
+    s = net.input_shape
+    lines = [f'name: "{net.name}"',
+             f'input: "{net.input_blob}"']
+    for dim in s.as_tuple():
+        lines.append(f"input_dim: {dim}")
+    for layer in net.layers:
+        lines.append("layer {")
+        lines.append(f'  name: "{layer.name}"')
+        lines.append(f'  type: "{layer.type_name()}"')
+        for bottom in layer.bottoms:
+            lines.append(f'  bottom: "{bottom}"')
+        for top in layer.tops:
+            lines.append(f'  top: "{top}"')
+        block = _layer_params(layer)
+        if block is not None:
+            lines.append(_param_block(block[0], block[1], 2))
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"""\s*(?:(?P<key>[A-Za-z_][\w]*)\s*(?::\s*(?P<value>"[^"]*"|[-\w.+]+)|\s*(?P<open>\{))|(?P<close>\}))""")
+
+
+def _tokens(text: str) -> Iterator[tuple[str, Any]]:
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            remainder = text[pos:].strip()
+            if not remainder:
+                return
+            raise GraphError(
+                f"prototxt parse error near: {remainder[:40]!r}")
+        pos = m.end()
+        if m.group("close"):
+            yield ("close", None)
+        elif m.group("open"):
+            yield ("open", m.group("key"))
+        else:
+            value = m.group("value")
+            if value is None:
+                raise GraphError(
+                    f"field {m.group('key')!r} missing value")
+            if value.startswith('"'):
+                parsed: Any = value[1:-1]
+            elif value in ("true", "false"):
+                parsed = value == "true"
+            else:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    parsed = float(value)
+            yield ("field", (m.group("key"), parsed))
+
+
+def _parse_message(tokens: Iterator[tuple[str, Any]]) -> dict[str, Any]:
+    """Parse one brace-delimited message into a dict.
+
+    Repeated fields collect into lists under the same key.
+    """
+    out: dict[str, Any] = {}
+
+    def put(key: str, value: Any) -> None:
+        if key in out:
+            if not isinstance(out[key], list):
+                out[key] = [out[key]]
+            out[key].append(value)
+        else:
+            out[key] = value
+
+    for kind, payload in tokens:
+        if kind == "close":
+            return out
+        if kind == "open":
+            put(payload, _parse_message(tokens))
+        else:
+            key, value = payload
+            put(key, value)
+    return out
+
+
+def _as_list(value: Any) -> list:
+    return value if isinstance(value, list) else [value]
+
+
+def from_prototxt(text: str) -> Network:
+    """Parse deploy-prototxt text into a zero-initialised Network."""
+    msg = _parse_message(_tokens(text))
+    if "input" not in msg or "input_dim" not in msg:
+        raise GraphError("prototxt must declare input and input_dim")
+    dims = _as_list(msg["input_dim"])
+    if len(dims) != 4:
+        raise GraphError(f"expected 4 input_dim entries, got {len(dims)}")
+    net = Network(str(msg.get("name", "net")), str(msg["input"]),
+                  BlobShape(*[int(d) for d in dims]))
+
+    shapes = {net.input_blob: net.input_shape}
+    for layer_msg in _as_list(msg.get("layer", [])):
+        layer = _build_layer(layer_msg, shapes)
+        net.add(layer)
+        inputs = [shapes[b] for b in layer.bottoms]
+        for top, out in zip(layer.tops, layer.output_shapes(inputs)):
+            shapes[top] = out
+    return net
+
+
+def _build_layer(msg: dict[str, Any], shapes: dict[str, BlobShape]):
+    try:
+        name = msg["name"]
+        type_name = msg["type"]
+    except KeyError as exc:
+        raise GraphError(f"layer missing {exc}") from None
+    bottoms = [str(b) for b in _as_list(msg.get("bottom", []))]
+    tops = [str(t) for t in _as_list(msg.get("top", []))]
+    if not bottoms or not tops:
+        raise GraphError(f"layer {name!r} needs bottom and top")
+    for b in bottoms:
+        if b not in shapes:
+            raise GraphError(
+                f"layer {name!r} reads undefined blob {b!r}")
+
+    if type_name == "Convolution":
+        p = msg.get("convolution_param", {})
+        return Convolution(
+            name, bottoms[0], tops[0],
+            num_output=int(p["num_output"]),
+            kernel_size=int(p.get("kernel_size", 1)),
+            in_channels=shapes[bottoms[0]].c,
+            stride=int(p.get("stride", 1)),
+            pad=int(p.get("pad", 0)))
+    if type_name == "ReLU":
+        p = msg.get("relu_param", {})
+        return ReLU(name, bottoms[0], tops[0],
+                    negative_slope=float(p.get("negative_slope", 0.0)))
+    if type_name == "Pooling":
+        p = msg.get("pooling_param", {})
+        method = (PoolMethod.AVE if p.get("pool") == "AVE"
+                  else PoolMethod.MAX)
+        if p.get("global_pooling"):
+            return Pooling(name, bottoms[0], tops[0], method=method,
+                           global_pooling=True)
+        return Pooling(name, bottoms[0], tops[0], method=method,
+                       kernel_size=int(p.get("kernel_size", 2)),
+                       stride=int(p.get("stride", 1)),
+                       pad=int(p.get("pad", 0)))
+    if type_name == "LRN":
+        p = msg.get("lrn_param", {})
+        return LRN(name, bottoms[0], tops[0],
+                   local_size=int(p.get("local_size", 5)),
+                   alpha=float(p.get("alpha", 1e-4)),
+                   beta=float(p.get("beta", 0.75)))
+    if type_name == "Concat":
+        return Concat(name, bottoms, tops[0])
+    if type_name == "InnerProduct":
+        p = msg.get("inner_product_param", {})
+        s = shapes[bottoms[0]]
+        return InnerProduct(name, bottoms[0], tops[0],
+                            num_output=int(p["num_output"]),
+                            num_input=s.c * s.h * s.w)
+    if type_name == "Softmax":
+        return Softmax(name, bottoms[0], tops[0])
+    if type_name == "Dropout":
+        p = msg.get("dropout_param", {})
+        return Dropout(name, bottoms[0], tops[0],
+                       dropout_ratio=float(p.get("dropout_ratio", 0.5)))
+    raise GraphError(f"unsupported layer type {type_name!r}")

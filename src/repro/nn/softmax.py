@@ -1,0 +1,37 @@
+"""Numerically-stable softmax over the channel axis."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layer import Layer, register_layer
+from repro.tensors.layout import BlobShape
+
+
+@register_layer
+class Softmax(Layer):
+    """``softmax(x)`` along channels; the network's confidence output.
+
+    Subtracting the per-sample maximum before exponentiation keeps the
+    computation in range even for FP16-quantised logits.
+    """
+
+    def __init__(self, name: str, bottom: str, top: str) -> None:
+        super().__init__(name, [bottom], [top])
+
+    def output_shapes(
+            self, input_shapes: Sequence[BlobShape]) -> list[BlobShape]:
+        self._expect_bottoms(input_shapes, 1)
+        return [input_shapes[0]]
+
+    def forward(self, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        x = inputs[0]
+        shifted = x - x.max(axis=1, keepdims=True)
+        e = np.exp(shifted.astype(np.float32))
+        return [e / e.sum(axis=1, keepdims=True)]
+
+    def macs(self, input_shapes: Sequence[BlobShape]) -> int:
+        # exp + add + divide per element ~ 3 ops
+        return input_shapes[0].count * 3

@@ -1,0 +1,97 @@
+"""Model zoo: named network configurations.
+
+``googlenet`` is the paper-faithful geometry; ``alexnet`` is the other
+standard NCS benchmark network (grouped convolutions, giant FC
+layers).  The ``mini``/``micro`` variants keep each full topology at
+reduced width/geometry so functional experiments run in seconds on the
+NumPy substrate; EXPERIMENTS.md records which variant each experiment
+used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import GraphError
+from repro.nn.alexnet import AlexNetConfig, build_alexnet
+from repro.nn.googlenet import GoogLeNetConfig, build_googlenet
+from repro.nn.graph import Network
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """Zoo entry: builder + config + human description."""
+
+    name: str
+    config: Any
+    builder: Callable[[Any], Network]
+    description: str
+    #: Pre-classifier feature blob (for WeightStore.pretrain) and the
+    #: classifier layer name.
+    feature_blob: str
+    classifier_layer: str
+
+    def build(self) -> Network:
+        """Construct a fresh zero-initialised network."""
+        return self.builder(self.config)
+
+
+def _googlenet_entry(name: str, config: GoogLeNetConfig,
+                     description: str) -> ModelEntry:
+    return ModelEntry(name, config, build_googlenet, description,
+                      feature_blob="pool5/drop_7x7_s1",
+                      classifier_layer="loss3/classifier")
+
+
+def _alexnet_entry(name: str, config: AlexNetConfig,
+                   description: str) -> ModelEntry:
+    return ModelEntry(name, config, build_alexnet, description,
+                      feature_blob="fc7", classifier_layer="fc8")
+
+
+_ZOO: dict[str, ModelEntry] = {
+    "googlenet": _googlenet_entry(
+        "googlenet",
+        GoogLeNetConfig(num_classes=1000, input_size=224, width=1.0),
+        "BVLC GoogLeNet deploy geometry (paper scale: 224px, 1000 "
+        "classes)"),
+    "googlenet-mini": _googlenet_entry(
+        "googlenet-mini",
+        GoogLeNetConfig(num_classes=50, input_size=64, width=0.25),
+        "Same topology at 64px / quarter width / 50 classes; default "
+        "scale for functional experiments"),
+    "googlenet-micro": _googlenet_entry(
+        "googlenet-micro",
+        GoogLeNetConfig(num_classes=10, input_size=32, width=0.125),
+        "Smallest full-topology variant (32px), used by the test "
+        "suite"),
+    "alexnet": _alexnet_entry(
+        "alexnet",
+        AlexNetConfig(num_classes=1000, input_size=227, width=1.0),
+        "BVLC AlexNet deploy geometry (227px, grouped convs, 1000 "
+        "classes)"),
+    "alexnet-mini": _alexnet_entry(
+        "alexnet-mini",
+        AlexNetConfig(num_classes=50, input_size=79, width=0.25),
+        "AlexNet topology at 79px / quarter width / 50 classes"),
+}
+
+
+def list_models() -> list[str]:
+    """Names of all registered models."""
+    return sorted(_ZOO)
+
+
+def model_entry(name: str) -> ModelEntry:
+    """Zoo entry for *name*."""
+    try:
+        return _ZOO[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown model {name!r}; available: {list_models()}") from None
+
+
+def get_model(name: str) -> Network:
+    """Build a zero-initialised network from the zoo."""
+    return model_entry(name).build()

@@ -1,0 +1,58 @@
+"""Throughput-per-Watt (the paper's Eq. 1) and energy accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PowerError
+
+
+def throughput_per_watt(images_per_second: float, watts: float) -> float:
+    """Eq. (1): ThroughputWatt = (Images / Second) / TDP."""
+    if watts <= 0:
+        raise PowerError(f"watts must be positive, got {watts}")
+    if images_per_second < 0:
+        raise PowerError("throughput must be >= 0")
+    return images_per_second / watts
+
+
+def tdp_reduction(baseline_watts: float, new_watts: float) -> float:
+    """How many times smaller the new configuration's TDP is.
+
+    The paper's headline "reducing the TDP up to 8x" compares the 80 W
+    CPU against the multi-VPU rig's chip-level TDP.
+    """
+    if baseline_watts <= 0 or new_watts <= 0:
+        raise PowerError("TDP values must be positive")
+    return baseline_watts / new_watts
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulates (watts x seconds) contributions into joules."""
+
+    joules: float = 0.0
+    _entries: list[tuple[str, float]] = field(default_factory=list)
+
+    def add(self, label: str, watts: float, seconds: float) -> None:
+        """Charge *watts* over *seconds* under *label*."""
+        if watts < 0 or seconds < 0:
+            raise PowerError("watts and seconds must be >= 0")
+        energy = watts * seconds
+        self.joules += energy
+        self._entries.append((label, energy))
+
+    def by_label(self) -> dict[str, float]:
+        """Joules per label."""
+        out: dict[str, float] = {}
+        for label, energy in self._entries:
+            out[label] = out.get(label, 0.0) + energy
+        return out
+
+    def images_per_joule(self, images: int) -> float:
+        """Efficiency expressed per unit energy."""
+        if self.joules <= 0:
+            raise PowerError("no energy accounted")
+        if images < 0:
+            raise PowerError("images must be >= 0")
+        return images / self.joules

@@ -1,0 +1,67 @@
+"""TDP registry.
+
+Datasheet thermal-design-power figures for every device class in the
+paper's comparison (§V and its refs [36], [37]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerError
+
+
+@dataclass(frozen=True)
+class TDP:
+    """One device's thermal design power entry."""
+
+    name: str
+    watts: float
+    source: str
+
+    def __post_init__(self) -> None:
+        if self.watts <= 0:
+            raise PowerError(f"TDP must be positive, got {self.watts}")
+
+
+class TDPRegistry:
+    """Lookup table of TDP figures by device name."""
+
+    def __init__(self, entries: list[TDP]) -> None:
+        self._entries: dict[str, TDP] = {}
+        for entry in entries:
+            if entry.name in self._entries:
+                raise PowerError(f"duplicate TDP entry {entry.name!r}")
+            self._entries[entry.name] = entry
+
+    def watts(self, name: str, count: int = 1) -> float:
+        """Total TDP of *count* devices of type *name*."""
+        if count < 1:
+            raise PowerError(f"count must be >= 1, got {count}")
+        return self.get(name).watts * count
+
+    def get(self, name: str) -> TDP:
+        """Full TDP entry for a device name."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise PowerError(
+                f"no TDP entry for {name!r}; known: "
+                f"{sorted(self._entries)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> list[str]:
+        """Sorted device names in the registry."""
+        return sorted(self._entries)
+
+
+#: The paper's figures. "ncs" is a whole stick (chip + DDR + USB PHY +
+#: regulator); the Fig. 8a img/W numbers divide by this one.
+DEFAULT_TDP = TDPRegistry([
+    TDP("cpu", 80.0, "Intel ARK: Xeon E5-2609v2 TDP"),
+    TDP("gpu", 80.0, "NVIDIA: Quadro K4000 board power"),
+    TDP("vpu_chip", 0.9, "Movidius Myriad 2 MA2450 datasheet"),
+    TDP("ncs", 2.5, "AnandTech NCS launch coverage [36]"),
+])

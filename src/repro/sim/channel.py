@@ -1,0 +1,73 @@
+"""Point-to-point message channels built on :class:`~repro.sim.resources.Store`.
+
+A :class:`Channel` is a bounded FIFO with an optional per-message transfer
+delay, modelling a link whose occupancy matters (the USB pipe between host
+and NCS, or the AXI path between DDR and CMX).  Messages become visible to
+the receiver only after the transfer delay has elapsed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Store
+
+
+class Channel:
+    """Unidirectional FIFO channel with transfer latency.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    capacity:
+        Maximum number of messages in flight + buffered.
+    delay:
+        Either a constant delay in simulated seconds, or a callable
+        ``f(message) -> seconds`` (used to express size-dependent
+        transfer costs).
+    """
+
+    def __init__(self, env: Environment,
+                 capacity: float = float("inf"),
+                 delay: float | Callable[[Any], float] = 0.0) -> None:
+        self.env = env
+        self._store = Store(env, capacity)
+        self._delay = delay
+        self.sent = 0
+        self.received = 0
+
+    def _delay_for(self, message: Any) -> float:
+        if callable(self._delay):
+            return float(self._delay(message))
+        return float(self._delay)
+
+    def send(self, message: Any) -> Event:
+        """Send *message*; returned event fires when it is buffered."""
+        delay = self._delay_for(message)
+        self.sent += 1
+        if delay <= 0:
+            return self._store.put(message)
+        return self.env.process(self._delayed_put(message, delay))
+
+    def _delayed_put(self, message: Any,
+                     delay: float) -> Generator[Event, Any, None]:
+        yield self.env.timeout(delay)
+        yield self._store.put(message)
+
+    def recv(self,
+             filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Receive a message; event fires with the message as its value."""
+        get = self._store.get(filter)
+        get.callbacks.append(self._count_recv)
+        return get
+
+    def _count_recv(self, event: Event) -> None:
+        if event.ok:
+            self.received += 1
+
+    @property
+    def pending(self) -> int:
+        """Messages buffered and ready to be received."""
+        return len(self._store)

@@ -1,0 +1,382 @@
+"""Core of the discrete-event simulation kernel.
+
+The design follows the classic process-interaction style: a *process* is
+a Python generator that yields :class:`Event` objects; the
+:class:`Environment` owns a priority queue of ``(time, priority, seq)``
+keys and resumes processes as their awaited events fire.
+
+Determinism contract: two events scheduled for the same simulated time
+and priority fire in the order they were scheduled (``seq`` is a
+monotonically increasing tie-breaker).  This makes every model built on
+the kernel reproducible run-to-run, which the test-suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+#: Default event priority. Lower values fire earlier at equal timestamps.
+NORMAL = 1
+#: Priority used by urgent bookkeeping events (process resumption).
+URGENT = 0
+
+PENDING = object()  #: sentinel: event value not yet set
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    Events start *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    schedules them on the environment's queue.  Callbacks registered in
+    :attr:`callbacks` run when the event is popped from the queue.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: set by Process when it fails so unhandled errors surface in run()
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.  If nothing waits on a failed event, :meth:`Environment.run`
+        raises it at the event's fire time (no silently-lost errors).
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    # -- composition --------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires *delay* time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal: starts a Process at the current time."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, URGENT)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to Process.interrupt()."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator; is itself an event that fires on completion.
+
+    The generator may ``yield`` any :class:`Event`; the process resumes
+    when that event fires, receiving the event's value (or having the
+    event's exception thrown into it).
+    """
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks = [self._resume]
+        self.env.schedule(event, URGENT)
+        # Detach from the event the process was waiting on.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                self.env.schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self, NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                self.env._active_proc = None
+                raise SimulationError(
+                    f"process yielded a non-event: {next_event!r}")
+            if next_event.env is not self.env:
+                self.env._active_proc = None
+                raise SimulationError(
+                    "process yielded an event from a different environment")
+
+            if next_event.callbacks is not None:
+                # Event still pending: register for resumption and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: continue immediately with its value.
+            event = next_event
+        self.env._active_proc = None
+
+
+class Condition(Event):
+    """Composite event over a set of events (``&`` / ``|`` operators)."""
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        return count == len(events)
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        return count > 0 or not events
+
+    def __init__(self, env: "Environment",
+                 evaluate: Callable[[list[Event], int], bool],
+                 events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+        if self._evaluate(self._events, 0):
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events
+                if e.triggered and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """Execution environment: simulated clock plus the event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing after *delay* time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a new process from *generator*."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when every event in *events* has fired."""
+        return Condition(self, Condition.all_events, events)
+
+    def any_of(self, events: Iterable[Event]) -> Condition:
+        """Event that fires when at least one event in *events* fires."""
+        return Condition(self, Condition.any_events, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Place *event* on the queue to fire after *delay*."""
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise DeadlockError("event queue is empty")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event nobody handled: surface it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (drain the queue), a number (run up to
+        that simulated time), or an :class:`Event` (run until it fires,
+        returning its value).
+        """
+        stop_at = float("inf")
+        stop_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    return stop_event.value
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until={stop_at} is in the past (now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_at:
+                self._now = stop_at
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise DeadlockError(
+                    "simulation ended before the awaited event fired")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None

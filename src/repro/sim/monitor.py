@@ -1,0 +1,109 @@
+"""Measurement probes for simulation models.
+
+:class:`Monitor` accumulates ``(time, value)`` samples and computes
+time-weighted statistics — used for link utilisation, queue depths and
+power draw.  :class:`TraceRecorder` collects structured trace events
+(who did what, when) that the test-suite asserts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.sim.core import Environment
+
+
+class Monitor:
+    """Piecewise-constant signal sampled against the simulated clock."""
+
+    def __init__(self, env: Environment, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Record *value* effective from the current simulated time."""
+        self.times.append(self.env.now)
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def last(self) -> float:
+        """Most recently recorded value (0.0 if nothing recorded)."""
+        return self.values[-1] if self.values else 0.0
+
+    def time_average(self, until: float | None = None) -> float:
+        """Time-weighted mean of the signal from first sample to *until*."""
+        if not self.values:
+            return 0.0
+        end = self.env.now if until is None else until
+        total = 0.0
+        duration = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
+            t_next = min(t_next, end)
+            if t_next <= t:
+                continue
+            total += v * (t_next - t)
+            duration += t_next - t
+        return total / duration if duration > 0 else self.values[0]
+
+    def integral(self, until: float | None = None) -> float:
+        """Integral of the signal over time (e.g. power -> energy)."""
+        if not self.values:
+            return 0.0
+        end = self.env.now if until is None else until
+        total = 0.0
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            t_next = self.times[i + 1] if i + 1 < len(self.times) else end
+            t_next = min(t_next, end)
+            if t_next > t:
+                total += v * (t_next - t)
+        return total
+
+    def maximum(self) -> float:
+        """Largest recorded value (0.0 if nothing recorded)."""
+        return max(self.values) if self.values else 0.0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    time: float
+    actor: str
+    action: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only log of :class:`TraceEvent` records."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.events: list[TraceEvent] = []
+        self.enabled = True
+
+    def emit(self, actor: str, action: str, **detail: Any) -> None:
+        """Append a trace record stamped with the current simulated time."""
+        if self.enabled:
+            self.events.append(
+                TraceEvent(self.env.now, actor, action, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def by_action(self, action: str) -> list[TraceEvent]:
+        """All records whose action equals *action*."""
+        return [e for e in self.events if e.action == action]
+
+    def by_actor(self, actor: str) -> list[TraceEvent]:
+        """All records emitted by *actor*."""
+        return [e for e in self.events if e.actor == actor]

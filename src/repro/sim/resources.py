@@ -1,0 +1,199 @@
+"""Shared resources for the DES kernel.
+
+Three primitives cover every contention point in the simulator:
+
+* :class:`Resource` — a counted semaphore with FIFO queueing (USB link
+  slots, SHAVE processors, host threads).
+* :class:`PriorityResource` — same, but requests carry a priority
+  (CMX port arbitration favours SIPP filters over SHAVE loads).
+* :class:`Store` — a FIFO buffer of Python objects with blocking put/get
+  (inference FIFOs on the NCS, channels between pipeline stages).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot.
+
+    Usable as a context manager inside a process::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.order = next(resource._counter)
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counted resource with *capacity* slots and FIFO (or priority) queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        self._counter = itertools.count()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Ask for a slot; returns an event that fires on acquisition."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a slot previously granted to *request*.
+
+        Releasing a request that was never granted cancels it (removes it
+        from the wait queue); releasing twice is a no-op.
+        """
+        try:
+            self.users.remove(request)
+        except ValueError:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                return
+            return
+        self._grant_next()
+
+    # -- internals ----------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+            self._sort_queue()
+
+    def _sort_queue(self) -> None:
+        """FIFO resources keep insertion order; subclasses may reorder."""
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            request = self.queue.pop(0)
+            if request.triggered:
+                continue  # cancelled while waiting
+            self.users.append(request)
+            request.succeed()
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served lowest-priority-value first."""
+
+    def _sort_queue(self) -> None:
+        self.queue.sort(key=lambda r: (r.priority, r.order))
+
+
+class StorePut(Event):
+    """Pending insertion into a :class:`Store`."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+    def __init__(self, store: "Store",
+                 filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+
+
+class Store:
+    """FIFO object buffer with optional capacity bound.
+
+    ``put`` blocks when the store is full; ``get`` blocks when no item
+    matches.  ``get`` accepts an optional filter predicate, which the NCS
+    device model uses to pop a specific in-flight inference by tag.
+    """
+
+    def __init__(self, env: Environment,
+                 capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._putters: list[StorePut] = []
+        self._getters: list[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert *item*; the returned event fires once it is stored."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return an item; event fires with the item as value."""
+        event = StoreGet(self, filter)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    # -- internals ----------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit pending puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                if put.triggered:
+                    continue
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve pending gets with matching items.
+            remaining: list[StoreGet] = []
+            for get in self._getters:
+                if get.triggered:
+                    continue
+                idx = self._find(get.filter)
+                if idx is None:
+                    remaining.append(get)
+                else:
+                    get.succeed(self.items.pop(idx))
+                    progress = True
+            self._getters = remaining
+
+    def _find(self, filter: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if filter is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if filter(item):
+                return i
+        return None
+
+
+class PreemptionError(SimulationError):
+    """Raised when preemptive resources would be required (unsupported)."""

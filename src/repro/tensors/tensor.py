@@ -1,0 +1,78 @@
+"""A thin named wrapper over NumPy arrays in NCHW layout.
+
+The NN graph engine passes :class:`Tensor` objects between layers so
+every blob carries its name (Caffe "top"/"bottom" semantics) and shape
+metadata, while the data itself stays a plain C-contiguous float32
+``ndarray`` — views, never copies, wherever possible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensors.layout import BlobShape
+
+
+class Tensor:
+    """Named NCHW blob.
+
+    Data is always stored float32 and C-contiguous.  Non-4D arrays
+    (e.g. classifier logits) are viewed as ``(N, C, 1, 1)``.
+    """
+
+    __slots__ = ("name", "data")
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        arr = np.asarray(data, dtype=np.float32)
+        if arr.ndim == 2:
+            arr = arr.reshape(arr.shape[0], arr.shape[1], 1, 1)
+        elif arr.ndim == 3:
+            arr = arr.reshape((1,) + arr.shape)
+        elif arr.ndim != 4:
+            raise ShapeError(
+                f"Tensor requires 2-4 dims, got ndim={arr.ndim}")
+        self.data = np.ascontiguousarray(arr)
+        self.name = name
+
+    @property
+    def shape(self) -> BlobShape:
+        """The blob's BlobShape."""
+        n, c, h, w = self.data.shape
+        return BlobShape(n, c, h, w)
+
+    @property
+    def batch(self) -> int:
+        """Batch dimension (N)."""
+        return self.data.shape[0]
+
+    @property
+    def channels(self) -> int:
+        """Channel dimension (C)."""
+        return self.data.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Storage size of the underlying array."""
+        return self.data.nbytes
+
+    def flat2d(self) -> np.ndarray:
+        """View as (N, C*H*W) — the shape classifiers consume."""
+        return self.data.reshape(self.data.shape[0], -1)
+
+    def clone(self, name: Optional[str] = None) -> "Tensor":
+        """Deep copy (use sparingly; prefer views)."""
+        return Tensor(self.data.copy(), name if name is not None
+                      else self.name)
+
+    @staticmethod
+    def zeros(shape: BlobShape | tuple[int, int, int, int],
+              name: str = "") -> "Tensor":
+        if isinstance(shape, BlobShape):
+            shape = shape.as_tuple()
+        return Tensor(np.zeros(shape, dtype=np.float32), name)
+
+    def __repr__(self) -> str:
+        return f"<Tensor {self.name!r} {self.shape}>"

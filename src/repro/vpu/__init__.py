@@ -1,0 +1,50 @@
+"""Myriad 2 VPU architectural simulator.
+
+Models the Movidius Myriad 2 (MA2450) as described in the paper's §II
+and its references (Moloney et al. Hot Chips 2014; Barry et al. IEEE
+Micro 2015):
+
+* 12 SHAVE VLIW vector processors @ 600 MHz with per-unit issue
+  (VAU/SAU/IAU/CMU/LSU) and native FP16 arithmetic
+  (:mod:`repro.vpu.shave`);
+* 2 MB multi-ported CMX scratchpad in 16 x 128 KB slices
+  (:mod:`repro.vpu.cmx`);
+* a 4 GB LPDDR3 channel and a DMA engine between DDR and CMX
+  (:mod:`repro.vpu.ddr`, :mod:`repro.vpu.dma`);
+* the SIPP hardware-accelerated image filter pipeline
+  (:mod:`repro.vpu.sipp`);
+* 20 power islands with gating and energy accounting
+  (:mod:`repro.vpu.power_islands`);
+* a graph compiler in the mvNCCompile role that tiles layers into CMX
+  and schedules them over SHAVEs (:mod:`repro.vpu.compiler`), and a
+  calibrated per-layer cycle estimator (:mod:`repro.vpu.timing`).
+
+The top-level chip model is :class:`repro.vpu.myriad2.Myriad2`.
+"""
+
+from repro.vpu.clock import Clock
+from repro.vpu.cmx import CMXMemory
+from repro.vpu.ddr import DDRChannel
+from repro.vpu.dma import DMAEngine
+from repro.vpu.shave import ShaveProcessor, ShaveConfig
+from repro.vpu.sipp import SIPPPipeline, SIPP_FILTERS
+from repro.vpu.power_islands import PowerIslands
+from repro.vpu.myriad2 import Myriad2, Myriad2Config
+from repro.vpu.compiler import compile_graph, CompiledGraph, LayerSchedule
+
+__all__ = [
+    "Clock",
+    "CMXMemory",
+    "DDRChannel",
+    "DMAEngine",
+    "ShaveProcessor",
+    "ShaveConfig",
+    "SIPPPipeline",
+    "SIPP_FILTERS",
+    "PowerIslands",
+    "Myriad2",
+    "Myriad2Config",
+    "compile_graph",
+    "CompiledGraph",
+    "LayerSchedule",
+]

@@ -1,0 +1,33 @@
+"""VPU graph compiler (the ``mvNCCompile`` role).
+
+Converts a :class:`repro.nn.graph.Network` into a
+:class:`~repro.vpu.compiler.compile.CompiledGraph`: FP16 weights, a
+CMX tiling plan, a SHAVE work partition and a per-layer cycle estimate.
+The compiled graph serialises to a binary blob — the "graph file" that
+the NCAPI's ``allocate_graph`` accepts — and carries everything the
+NCS device model needs to both *time* and *functionally execute* an
+inference.
+"""
+
+from repro.vpu.compiler.compile import (
+    CompiledGraph,
+    LayerSchedule,
+    compile_graph,
+)
+from repro.vpu.compiler.tiling import TilePlan, plan_tiling
+from repro.vpu.compiler.schedule import ShaveAssignment, assign_shaves
+from repro.vpu.compiler.report import per_layer_report
+from repro.vpu.compiler.validate import PlanValidation, validate_plan
+
+__all__ = [
+    "CompiledGraph",
+    "LayerSchedule",
+    "compile_graph",
+    "TilePlan",
+    "plan_tiling",
+    "ShaveAssignment",
+    "assign_shaves",
+    "per_layer_report",
+    "PlanValidation",
+    "validate_plan",
+]

@@ -1,0 +1,46 @@
+"""Per-layer timing report (the ``mvNCProfile`` role).
+
+The NCAPI exposes per-layer execution times through
+``GetGraphOption(TIME_TAKEN)``; this module renders the compiled
+graph's estimates in the same per-layer tabular form.
+"""
+
+from __future__ import annotations
+
+from repro.vpu.compiler.compile import CompiledGraph
+
+
+def per_layer_report(graph: CompiledGraph, top: int | None = None) -> str:
+    """Human-readable per-layer timing table.
+
+    ``top`` truncates to the N most expensive layers (plus the total).
+    """
+    rows = []
+    total_ms = 0.0
+    for sched in graph.layers:
+        ms = 1000.0 * sched.total_cycles / graph.freq_hz
+        total_ms += ms
+        rows.append((sched.name, sched.type_name,
+                     sched.macs / 1e6, sched.assignment.shaves_used,
+                     sched.tile_plan.num_tiles,
+                     "cmx" if sched.tile_plan.fits_cmx else "ddr", ms))
+    rows.sort(key=lambda r: -r[-1])
+    if top is not None:
+        rows = rows[:top]
+
+    width = max([len(r[0]) for r in rows] + [10])
+    lines = [
+        f"{'layer':<{width}}  {'type':<12} {'MMACs':>8} {'shv':>3} "
+        f"{'tiles':>5} {'mem':>3} {'ms':>9}",
+        "-" * (width + 48),
+    ]
+    for name, tname, mmacs, shv, tiles, mem, ms in rows:
+        lines.append(
+            f"{name:<{width}}  {tname:<12} {mmacs:>8.2f} {shv:>3d} "
+            f"{tiles:>5d} {mem:>3} {ms:>9.3f}")
+    lines.append("-" * (width + 48))
+    lines.append(
+        f"{'TOTAL':<{width}}  {'':<12} "
+        f"{sum(s.macs for s in graph.layers) / 1e6:>8.2f} "
+        f"{graph.num_shaves:>3d} {'':>5} {'':>3} {total_ms:>9.3f}")
+    return "\n".join(lines)

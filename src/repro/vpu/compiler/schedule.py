@@ -1,0 +1,60 @@
+"""SHAVE work partitioning.
+
+The NCSDK splits each layer's output map across the SHAVEs (row bands
+for convolutions and pooling, channel bands for the classifier).  The
+assignment records how many SHAVEs a layer can actually use and the
+load imbalance of the split — a layer with 7 output rows on 12 SHAVEs
+uses only 7, and a layer with 13 rows pays a 2-row critical path on 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.nn.layer import Layer
+from repro.tensors.layout import BlobShape
+
+
+@dataclass(frozen=True)
+class ShaveAssignment:
+    """Work split of one layer across the SHAVE array."""
+
+    shaves_used: int
+    parallel_units: int
+    imbalance: float  #: critical-path ratio, >= 1.0
+
+    def __post_init__(self) -> None:
+        if self.shaves_used < 1:
+            raise CompileError("shaves_used must be >= 1")
+        if self.imbalance < 1.0:
+            raise CompileError(
+                f"imbalance must be >= 1, got {self.imbalance}")
+
+
+def parallel_units_for(layer: Layer,
+                       input_shapes: list[BlobShape]) -> int:
+    """Units of independent work the kernel splits across SHAVEs."""
+    out = layer.output_shapes(input_shapes)[0]
+    t = layer.type_name()
+    if t == "InnerProduct":
+        # Classifier splits across output neurons.
+        return out.c
+    if t in ("Softmax",):
+        # Softmax normalisation is one reduction per sample.
+        return out.n
+    # Spatial kernels split across output rows (per batch element).
+    return out.h * out.n
+
+
+def assign_shaves(layer: Layer, input_shapes: list[BlobShape],
+                  num_shaves: int = 12) -> ShaveAssignment:
+    """Partition *layer* across at most *num_shaves* SHAVEs."""
+    if num_shaves < 1:
+        raise CompileError(f"num_shaves must be >= 1, got {num_shaves}")
+    units = parallel_units_for(layer, input_shapes)
+    used = max(1, min(num_shaves, units))
+    # ceil(units/used) slices on the critical path vs units/used ideal.
+    imbalance = (-(-units // used)) * used / units if units else 1.0
+    return ShaveAssignment(shaves_used=used, parallel_units=units,
+                           imbalance=float(imbalance))

@@ -1,0 +1,85 @@
+"""CMX tiling planner.
+
+Decides, per layer, whether its working set (input + output activations
+plus weights at FP16) fits the CMX scratchpad.  Layers that fit run
+CMX-resident at full LSU bandwidth; layers that do not are split into
+row-band tiles that stream through the DMA engine, double-buffered —
+the strategy the NCSDK applies, and the reason GoogLeNet's early
+high-resolution layers dominate its DDR traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+from repro.nn.layer import Layer
+from repro.tensors.layout import BlobShape
+from repro.vpu.cmx import CMX_TOTAL_BYTES
+
+#: Fraction of CMX the compiler may use for tensor data; the rest is
+#: reserved for kernel code, stacks and the double-buffer margin.
+CMX_DATA_FRACTION = 0.75
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """Placement decision for one layer."""
+
+    working_set_bytes: int
+    cmx_budget_bytes: int
+    fits_cmx: bool
+    num_tiles: int
+    ddr_traffic_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.num_tiles < 1:
+            raise CompileError("num_tiles must be >= 1")
+
+
+def working_set_bytes(layer: Layer, input_shapes: list[BlobShape],
+                      bytes_per_element: int = 2) -> int:
+    """Input + output activations + weights at the given precision."""
+    out_shapes = layer.output_shapes(input_shapes)
+    acts = sum(s.count for s in input_shapes) + sum(
+        s.count for s in out_shapes)
+    return acts * bytes_per_element + layer.param_bytes(bytes_per_element)
+
+
+def plan_tiling(layer: Layer, input_shapes: list[BlobShape],
+                bytes_per_element: int = 2,
+                cmx_bytes: int = int(CMX_TOTAL_BYTES)) -> TilePlan:
+    """Compute the :class:`TilePlan` for one layer.
+
+    A non-fitting layer is split along output rows into the smallest
+    number of tiles whose per-tile working set fits the budget; all of
+    its activation and weight traffic then crosses the DDR interface
+    once (weights once per tile if they must be re-fetched — captured
+    by charging weights per tile when the split is weight-bound).
+    """
+    budget = int(cmx_bytes * CMX_DATA_FRACTION)
+    ws = working_set_bytes(layer, input_shapes, bytes_per_element)
+    if ws <= budget:
+        return TilePlan(working_set_bytes=ws, cmx_budget_bytes=budget,
+                        fits_cmx=True, num_tiles=1, ddr_traffic_bytes=0)
+
+    weight_bytes = layer.param_bytes(bytes_per_element)
+    act_bytes = ws - weight_bytes
+    if weight_bytes > budget:
+        # Weights alone exceed CMX (the big FC layer at paper scale):
+        # stream weights in bands; activations are tiny by comparison.
+        num_tiles = -(-weight_bytes // max(budget - act_bytes, 1))
+        ddr_traffic = weight_bytes + act_bytes
+    else:
+        # Tile activations along rows; weights stay resident per tile
+        # but are fetched once.
+        per_tile_budget = budget - weight_bytes
+        if per_tile_budget <= 0:
+            raise CompileError(
+                f"layer {layer.name!r} cannot be tiled: weights "
+                f"{weight_bytes}B leave no activation budget")
+        num_tiles = -(-act_bytes // per_tile_budget)
+        ddr_traffic = act_bytes + weight_bytes
+    return TilePlan(working_set_bytes=ws, cmx_budget_bytes=budget,
+                    fits_cmx=False, num_tiles=int(num_tiles),
+                    ddr_traffic_bytes=int(ddr_traffic))

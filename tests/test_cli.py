@@ -1,0 +1,92 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig6a", "fig7b", "headline", "report", "profile"):
+        assert name in out
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figZZ"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_fig6b_command_renders(capsys):
+    assert main(["fig6b", "--images", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6b" in out
+    assert "paper reference" in out
+    assert "=vpu" in out  # line chart legend
+
+
+def test_fig6a_command_renders_bars(capsys):
+    assert main(["fig6a", "--images", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "Set-1" in out
+    assert "#" in out  # bar chart marks
+
+
+def test_headline_without_error_rows(capsys):
+    assert main(["headline", "--images", "32", "--scale", "none"]) == 0
+    out = capsys.readouterr().out
+    assert "vpu_single_ms" in out
+    assert "cpu_top1_error" not in out
+
+
+def test_fig7b_smoke_scale(capsys):
+    assert main(["fig7b", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7b" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "--model", "googlenet-micro",
+                 "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "TOTAL" in out
+    assert "Convolution" in out
+
+
+def test_profile_shave_option(capsys):
+    assert main(["profile", "--model", "googlenet-micro",
+                 "--shaves", "4", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "TOTAL" in out
+
+
+def test_json_dir_option(tmp_path, capsys):
+    assert main(["fig6b", "--images", "16",
+                 "--json-dir", str(tmp_path)]) == 0
+    assert (tmp_path / "fig6b.json").exists()
+    from repro.harness.export import load_figure_json
+    fig = load_figure_json(tmp_path / "fig6b.json")
+    assert fig.figure_id == "fig6b"
+
+
+def test_report_markdown_option(tmp_path, capsys):
+    md_path = tmp_path / "report.md"
+    assert main(["report", "--images", "16", "--scale", "none",
+                 "--markdown", str(md_path)]) == 0
+    text = md_path.read_text()
+    assert text.startswith("# Reproduction report")
+    assert "## fig6a" in text and "## fig8b" in text
+    assert "| metric | paper | measured | ratio |" in text
+
+
+def test_audit_command(capsys):
+    assert main(["audit", "--images", "48", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "claims verified" in out
+    assert "vpu-single-latency" in out
+    assert " NO" not in out

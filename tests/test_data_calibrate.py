@@ -1,0 +1,100 @@
+"""Integration tests: noise calibration against a real (micro) network."""
+
+import numpy as np
+import pytest
+
+from repro.data import ImageSynthesizer, Preprocessor
+from repro.data.calibrate import CalibrationResult, calibrate_noise
+from repro.nn import get_model
+from repro.nn.weights import WeightStore
+from repro.numerics import PrecisionPolicy
+
+
+@pytest.fixture(scope="module")
+def pretrained_micro():
+    """Micro GoogLeNet pretrained on 10 synthetic class templates."""
+    net = get_model("googlenet-micro")
+    # The 32px/0.125-width model is very shift-sensitive; disable the
+    # spatial jitter so noise_sigma is the only difficulty knob here.
+    synth = ImageSynthesizer(num_classes=10, size=48, noise_sigma=0,
+                             jitter_shift=0)
+    pp = Preprocessor(input_size=32)
+    WeightStore(seed=0, logit_scale=8.0).pretrain(
+        net, lambda c: pp(synth.template(c)), num_classes=10)
+    return net, synth, pp
+
+
+def test_zero_noise_error_is_low(pretrained_micro):
+    net, synth, pp = pretrained_micro
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, 10, size=128)
+    s = synth.with_noise(0.0)
+    wrong = 0
+    for start in range(0, 128, 32):
+        chunk = labels[start:start + 32]
+        x = np.stack([pp(s.sample(int(c), 1000 + start + i))
+                      for i, c in enumerate(chunk)])
+        pred, _ = net.predict(x)
+        wrong += int(np.sum(pred != chunk))
+    assert wrong / 128 < 0.25
+
+
+def test_error_monotone_in_noise(pretrained_micro):
+    net, synth, pp = pretrained_micro
+
+    def err(sigma, n=96):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 10, size=n)
+        s = synth.with_noise(sigma)
+        wrong = 0
+        for start in range(0, n, 32):
+            chunk = labels[start:start + 32]
+            x = np.stack([pp(s.sample(int(c), 2000 + start + i))
+                          for i, c in enumerate(chunk)])
+            pred, _ = net.predict(x)
+            wrong += int(np.sum(pred != chunk))
+        return wrong / n
+
+    e_low, e_high = err(5), err(150)
+    assert e_low < e_high
+
+
+def test_calibration_converges_to_target(pretrained_micro):
+    net, synth, pp = pretrained_micro
+    res = calibrate_noise(net, synth, pp, target_error=0.32,
+                          n_samples=128, tolerance=0.06)
+    assert isinstance(res, CalibrationResult)
+    assert res.noise_sigma > 0
+    assert abs(res.achieved_error - 0.32) <= 0.12  # sampling noise
+    assert res.target_error == 0.32
+
+
+def test_calibration_rejects_bad_target(pretrained_micro):
+    net, synth, pp = pretrained_micro
+    with pytest.raises(ValueError):
+        calibrate_noise(net, synth, pp, target_error=0.0)
+    with pytest.raises(ValueError):
+        calibrate_noise(net, synth, pp, target_error=1.0)
+
+
+def test_fp16_delta_is_small_at_calibrated_noise(pretrained_micro):
+    """The paper's §IV-B result: FP16 changes top-1 error negligibly."""
+    net, synth, pp = pretrained_micro
+    s = synth.with_noise(30.0)
+    rng = np.random.default_rng(3)
+    labels = rng.integers(0, 10, size=128)
+    delta_sum = 0
+    conf_diffs = []
+    for start in range(0, 128, 32):
+        chunk = labels[start:start + 32]
+        x = np.stack([pp(s.sample(int(c), 4000 + start + i))
+                      for i, c in enumerate(chunk)])
+        p32, c32 = net.predict(x, PrecisionPolicy.fp32())
+        p16, c16 = net.predict(x, PrecisionPolicy.fp16())
+        delta_sum += int(np.sum(p16 != chunk)) - int(np.sum(p32 != chunk))
+        both = (p32 == chunk) & (p16 == chunk)
+        conf_diffs.extend(np.abs(c32[both] - c16[both]))
+    # Error delta within a few percentage points (paper: 0.09 %).
+    assert abs(delta_sum) / 128 < 0.05
+    # Confidence difference small but nonzero (paper: 0.44 %).
+    assert 0 < np.mean(conf_diffs) < 0.05

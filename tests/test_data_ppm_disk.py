@@ -1,0 +1,144 @@
+"""Tests for PPM I/O, dataset export, and the disk-backed source."""
+
+import numpy as np
+import pytest
+
+from repro.data import ILSVRCValidation, ImageSynthesizer, Preprocessor
+from repro.data import SynsetVocabulary
+from repro.data.ppm import read_ppm, write_ppm
+from repro.errors import DatasetError, FrameworkError
+from repro.ncsw import DiskImageFolder, ImageFolder
+
+
+def _dataset(num_images=20, subset_size=10, classes=5, size=24):
+    vocab = SynsetVocabulary(num_classes=classes)
+    synth = ImageSynthesizer(num_classes=classes, size=size,
+                             noise_sigma=15)
+    return ILSVRCValidation(vocab, synth, num_images=num_images,
+                            subset_size=subset_size)
+
+
+# --- PPM codec ---------------------------------------------------------------
+
+def test_ppm_roundtrip(tmp_path):
+    rng = np.random.default_rng(0)
+    img = rng.integers(0, 256, size=(13, 17, 3)).astype(np.uint8)
+    path = tmp_path / "x.ppm"
+    write_ppm(path, img)
+    back = read_ppm(path)
+    np.testing.assert_array_equal(back, img)
+    assert back.dtype == np.uint8
+
+
+def test_ppm_header_format(tmp_path):
+    img = np.zeros((2, 3, 3), dtype=np.uint8)
+    path = tmp_path / "h.ppm"
+    write_ppm(path, img)
+    data = path.read_bytes()
+    assert data.startswith(b"P6\n3 2\n255\n")
+    assert len(data) == len(b"P6\n3 2\n255\n") + 2 * 3 * 3
+
+
+def test_ppm_reads_comments(tmp_path):
+    path = tmp_path / "c.ppm"
+    pixels = bytes(range(12))
+    path.write_bytes(b"P6\n# a comment\n2 2\n255\n" + pixels)
+    img = read_ppm(path)
+    assert img.shape == (2, 2, 3)
+    assert img[0, 0, 0] == 0 and img[1, 1, 2] == 11
+
+
+def test_ppm_write_validation(tmp_path):
+    with pytest.raises(DatasetError):
+        write_ppm(tmp_path / "a.ppm", np.zeros((4, 4), dtype=np.uint8))
+    with pytest.raises(DatasetError):
+        write_ppm(tmp_path / "b.ppm",
+                  np.zeros((4, 4, 3), dtype=np.float32))
+
+
+def test_ppm_read_validation(tmp_path):
+    bad = tmp_path / "bad.ppm"
+    bad.write_bytes(b"P5\n1 1\n255\n\x00")
+    with pytest.raises(DatasetError, match="not a P6"):
+        read_ppm(bad)
+    trunc = tmp_path / "t.ppm"
+    trunc.write_bytes(b"P6\n4 4\n255\n\x00\x00")
+    with pytest.raises(DatasetError, match="truncated"):
+        read_ppm(trunc)
+    deep = tmp_path / "d.ppm"
+    deep.write_bytes(b"P6\n1 1\n65535\n" + b"\x00" * 6)
+    with pytest.raises(DatasetError, match="8-bit"):
+        read_ppm(deep)
+    garbled = tmp_path / "g.ppm"
+    garbled.write_bytes(b"P6\nxx yy\n255\n")
+    with pytest.raises(DatasetError, match="malformed"):
+        read_ppm(garbled)
+
+
+# --- export + disk source ------------------------------------------------------
+
+def test_export_writes_files_and_truth(tmp_path):
+    ds = _dataset()
+    n = ds.export_to_dir(tmp_path / "val", subset=0)
+    assert n == 10
+    files = sorted((tmp_path / "val").glob("*.ppm"))
+    assert len(files) == 10
+    assert files[0].name == "ILSVRC2012_val_00000001.ppm"
+    truth = (tmp_path / "val" / "val_ground_truth.txt").read_text()
+    assert len(truth.splitlines()) == 10
+
+
+def test_export_limit(tmp_path):
+    ds = _dataset()
+    assert ds.export_to_dir(tmp_path / "v", subset=1, limit=3) == 3
+
+
+def test_exported_pixels_match_generator(tmp_path):
+    ds = _dataset()
+    ds.export_to_dir(tmp_path / "val", subset=0, limit=2)
+    img = read_ppm(tmp_path / "val" / "ILSVRC2012_val_00000001.ppm")
+    np.testing.assert_array_equal(img, ds.pixels(1))
+
+
+def test_disk_source_equivalent_to_lazy_source(tmp_path):
+    """The on-disk pipeline produces identical tensors and labels."""
+    ds = _dataset()
+    ds.export_to_dir(tmp_path / "val", subset=0)
+    pp = Preprocessor(input_size=24)
+    lazy = list(ImageFolder(ds, 0, pp))
+    disk = list(DiskImageFolder(tmp_path / "val", pp))
+    assert len(disk) == len(lazy)
+    for a, b in zip(disk, lazy):
+        assert a.image_id == b.image_id
+        assert a.label == b.label
+        np.testing.assert_array_equal(a.tensor, b.tensor)
+
+
+def test_disk_source_limit_and_validation(tmp_path):
+    ds = _dataset()
+    ds.export_to_dir(tmp_path / "val", subset=0)
+    pp = Preprocessor(input_size=24)
+    assert len(DiskImageFolder(tmp_path / "val", pp, limit=4)) == 4
+    with pytest.raises(FrameworkError):
+        DiskImageFolder(tmp_path / "val", pp, limit=0)
+    with pytest.raises(FrameworkError):
+        DiskImageFolder(tmp_path / "nothere", pp)
+
+
+def test_disk_source_runs_through_framework(tmp_path):
+    from repro.ncsw import IntelCPU, NCSw
+    from repro.nn import build_googlenet, GoogLeNetConfig
+    from repro.nn.weights import initialize_network
+
+    ds = _dataset(size=32)
+    ds.export_to_dir(tmp_path / "val", subset=0, limit=6)
+    net = build_googlenet(GoogLeNetConfig(num_classes=5, input_size=32,
+                                          width=0.125))
+    initialize_network(net)
+    fw = NCSw()
+    fw.add_source("disk", DiskImageFolder(tmp_path / "val",
+                                          Preprocessor(input_size=32)))
+    fw.add_target("cpu", IntelCPU(net))
+    run = fw.run("disk", "cpu", batch_size=3)
+    assert run.images == 6
+    assert 0.0 <= run.top1_error() <= 1.0

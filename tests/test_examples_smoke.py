@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the first thing a new user touches; this module keeps
+them from rotting.  Each runs in a subprocess exactly as a user would
+invoke it (the FP16 study at smoke scale to keep the suite fast).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", {}, "per-layer timing"),
+    ("multi_vpu_throughput.py", {}, "Fig. 6b"),
+    ("power_projection.py", {}, "island-model average chip power"),
+    ("mpi_stream_pipeline.py", {}, "round-robin balance"),
+    ("mdk_gemm.py", {}, "Gflops/W"),
+    ("edge_streaming.py", {}, "queue-depth trade-off"),
+    ("fp16_error_study.py", {"REPRO_SCALE": "smoke"},
+     "Rounding drill-down"),
+]
+
+
+@pytest.mark.parametrize("script,env_extra,marker",
+                         CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, env_extra, marker):
+    env = dict(os.environ, **env_extra)
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300, env=env)
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stderr[-2000:]}")
+    assert marker in proc.stdout, (
+        f"{script}: expected {marker!r} in output")
+
+
+def test_examples_directory_is_complete():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {c[0] for c in CASES}, (
+        "examples changed — update the smoke-test inventory and "
+        "examples/README.md")

@@ -1,0 +1,151 @@
+"""Failure-injection tests: flaky USB links, retries, device reset."""
+
+import pytest
+
+from repro.errors import NCAPIError, USBError
+from repro.ncs import NCAPI, USBTopology
+from repro.ncs.usb import USB_MAX_ATTEMPTS, USB_RETRY_BACKOFF_S
+from repro.nn import get_model
+from repro.nn.weights import initialize_network
+from repro.sim import Environment
+from repro.vpu import compile_graph
+
+
+@pytest.fixture(scope="module")
+def micro_graph():
+    net = get_model("googlenet-micro")
+    initialize_network(net)
+    return compile_graph(net)
+
+
+def _topo_with_error(env, error_rate):
+    topo = USBTopology(env)
+    topo.attach_device("ncs0")
+    link = topo.links[topo.path("ncs0")[0]]
+    link.error_rate = error_rate
+    return topo, link
+
+
+def test_error_rate_validation():
+    from repro.ncs.usb import USBLink
+    with pytest.raises(USBError):
+        USBLink("bad", error_rate=1.0)
+    with pytest.raises(USBError):
+        USBLink("bad", error_rate=-0.1)
+
+
+def test_clean_link_never_fails():
+    env = Environment()
+    topo, link = _topo_with_error(env, 0.0)
+    for _ in range(20):
+        env.run(until=topo.transfer("ncs0", 1000))
+    assert link.errors_injected == 0
+
+
+def test_flaky_link_retries_transparently():
+    env = Environment()
+    topo, link = _topo_with_error(env, 0.3)
+    durations = []
+    for _ in range(40):
+        t0 = env.now
+        env.run(until=topo.transfer("ncs0", 1000))
+        durations.append(env.now - t0)
+    # Failures happened and were retried (some transfers took the
+    # backoff penalty), but every transfer completed.
+    assert link.errors_injected > 0
+    assert max(durations) >= USB_RETRY_BACKOFF_S
+    assert min(durations) < USB_RETRY_BACKOFF_S
+
+
+def test_dead_link_gives_up_after_max_attempts():
+    env = Environment()
+    topo, link = _topo_with_error(env, 0.999999)
+    with pytest.raises(USBError, match="failed after"):
+        env.run(until=topo.transfer("ncs0", 1000))
+    assert link.errors_injected >= USB_MAX_ATTEMPTS
+
+
+def test_inference_survives_flaky_link(micro_graph):
+    """End to end: a 20%-lossy link slows the run but loses nothing."""
+    env = Environment()
+    topo, link = _topo_with_error(env, 0.2)
+    api = NCAPI(env, topo, functional=False)
+
+    def scenario():
+        dev = yield api.open_device(0)
+        graph = yield dev.allocate_compiled(micro_graph)
+        for _ in range(10):
+            yield graph.load_tensor(None)
+            yield graph.get_result()
+        return graph
+
+    graph = env.run(until=env.process(scenario()))
+    assert len(graph.time_taken()) == 10
+    assert link.errors_injected > 0
+
+
+def test_device_reset_cycle(micro_graph):
+    env = Environment()
+    topo = USBTopology(env)
+    topo.attach_device("ncs0")
+    api = NCAPI(env, topo, functional=False)
+    device = api.devices[0]
+
+    def scenario():
+        dev = yield api.open_device(0)
+        graph = yield dev.allocate_compiled(micro_graph)
+        yield graph.load_tensor(None)
+        yield graph.get_result()
+        # Reset: graph gone, device re-booted.
+        yield device.reset()
+        assert device.booted
+        assert device.graph is None
+        # A fresh allocation works after reset.
+        graph2 = yield dev.allocate_compiled(micro_graph)
+        yield graph2.load_tensor(None)
+        result, _ = yield graph2.get_result()
+        return result
+
+    result = env.run(until=env.process(scenario()))
+    assert result is not None
+
+
+def test_reset_drops_inflight_work(micro_graph):
+    env = Environment()
+    topo = USBTopology(env)
+    topo.attach_device("ncs0")
+    api = NCAPI(env, topo, functional=False)
+    device = api.devices[0]
+
+    def scenario():
+        dev = yield api.open_device(0)
+        graph = yield dev.allocate_compiled(micro_graph)
+        # Queue work but reset before collecting.
+        yield graph.load_tensor(None)
+        yield graph.load_tensor(None)
+        yield device.reset()
+        # The old graph handle is stale after reset.
+        graph.load_tensor(None)
+        yield env.timeout(0)
+
+    with pytest.raises(NCAPIError):
+        env.run(until=env.process(scenario()))
+
+
+def test_reset_releases_ddr(micro_graph):
+    env = Environment()
+    topo = USBTopology(env)
+    topo.attach_device("ncs0")
+    api = NCAPI(env, topo, functional=False)
+    device = api.devices[0]
+
+    def scenario():
+        dev = yield api.open_device(0)
+        free_before = device.chip.ddr.free
+        yield dev.allocate_compiled(micro_graph)
+        assert device.chip.ddr.free < free_before
+        yield device.reset()
+        return free_before, device.chip.ddr.free
+
+    before, after = env.run(until=env.process(scenario()))
+    assert after == before

@@ -1,0 +1,91 @@
+"""End-to-end replication campaign: cross-artefact consistency.
+
+Runs the complete figure set (timing at reduced image count, precision
+at smoke scale) and asserts the *relationships between artefacts* that
+must hold if the reproduction is internally consistent — the checks a
+referee would do across the paper's figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    fig6a_throughput_per_subset,
+    fig6b_normalized_scaling,
+    fig8a_throughput_per_watt,
+    fig8b_projected_throughput,
+    headline_table,
+)
+
+IMAGES = 48
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return {
+        "fig6a": fig6a_throughput_per_subset(images_per_subset=IMAGES),
+        "fig6b": fig6b_normalized_scaling(images=IMAGES),
+        "fig8a": fig8a_throughput_per_watt(images=IMAGES),
+        "fig8b": fig8b_projected_throughput(images=IMAGES),
+        "headline": headline_table(images=IMAGES, error_scale=None),
+    }
+
+
+def test_fig6a_consistent_with_fig8b_at_batch8(campaign):
+    """Fig. 6a's batch-8 bars are Fig. 8b's batch-8 points."""
+    for label in ("cpu", "gpu", "vpu"):
+        bar = np.mean(campaign["fig6a"].by_label(label).y)
+        point = campaign["fig8b"].by_label(label).y[3]  # batch 8
+        assert bar == pytest.approx(point, rel=0.02)
+
+
+def test_fig8a_equals_fig8b_divided_by_tdp(campaign):
+    """Fig. 8a is exactly Fig. 8b's throughput over the TDP table."""
+    from repro.power import DEFAULT_TDP
+    for label, watts_fn in (
+            ("cpu", lambda b: DEFAULT_TDP.watts("cpu")),
+            ("gpu", lambda b: DEFAULT_TDP.watts("gpu")),
+            ("vpu", lambda b: DEFAULT_TDP.watts("ncs", b))):
+        for i, b in enumerate((1, 2, 4, 8)):
+            thr = campaign["fig8b"].by_label(label).y[i]
+            ipw = campaign["fig8a"].by_label(label).y[i]
+            assert ipw == pytest.approx(thr / watts_fn(b), rel=0.02)
+
+
+def test_fig6b_normalization_consistent_with_fig8b(campaign):
+    """Fig. 6b's normalised curves re-derive from Fig. 8b's absolute
+    throughputs (per-image time ratios)."""
+    for label in ("cpu", "gpu", "vpu"):
+        absolute = campaign["fig8b"].by_label(label).y[:4]
+        normalised = campaign["fig6b"].by_label(label).y
+        rederived = tuple(t / absolute[0] for t in absolute)
+        np.testing.assert_allclose(normalised, rederived, rtol=0.02)
+
+
+def test_headline_consistent_with_figures(campaign):
+    by = {name: measured for name, _, measured in campaign["headline"]}
+    vpu8 = np.mean(campaign["fig6a"].by_label("vpu").y)
+    assert by["vpu_batch8_img_s"] == pytest.approx(vpu8, rel=0.02)
+    # Single-stick latency from the headline matches fig8b's batch-1
+    # VPU point inverted.
+    vpu1_thr = campaign["fig8b"].by_label("vpu").y[0]
+    assert by["vpu_single_ms"] == pytest.approx(1000 / vpu1_thr,
+                                                rel=0.02)
+
+
+def test_all_paper_orderings_hold(campaign):
+    """Every qualitative claim of the evaluation, in one place."""
+    fig6a = campaign["fig6a"]
+    cpu = np.mean(fig6a.by_label("cpu").y)
+    gpu = np.mean(fig6a.by_label("gpu").y)
+    vpu = np.mean(fig6a.by_label("vpu").y)
+    assert vpu > gpu > cpu                       # Fig. 6a ordering
+    fig6b = campaign["fig6b"]
+    assert fig6b.by_label("vpu").y[-1] > 7       # near-ideal scaling
+    assert fig6b.by_label("cpu").y[-1] < 1.3     # CPU barely moves
+    fig8a = campaign["fig8a"]
+    assert min(fig8a.by_label("vpu").y) > 3 * max(
+        max(fig8a.by_label("cpu").y), max(fig8a.by_label("gpu").y))
+    fig8b = campaign["fig8b"]
+    assert fig8b.by_label("vpu").y[-1] > fig8b.by_label("gpu").y[-1] \
+        > fig8b.by_label("cpu").y[-1]            # projected ordering

@@ -1,0 +1,119 @@
+"""Tests for the real-time streaming pipeline."""
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.ncs import NCAPI, paper_testbed_topology
+from repro.ncsw.pipeline import PipelineResult, StreamingPipeline
+from repro.nn import get_model
+from repro.nn.weights import initialize_network
+from repro.sim import Environment
+from repro.vpu import compile_graph
+
+
+@pytest.fixture(scope="module")
+def micro_graph():
+    net = get_model("googlenet-micro")
+    initialize_network(net)
+    return compile_graph(net)
+
+
+def _stream(micro_graph, devices, fps, frames, queue_depth=4):
+    env = Environment()
+    topo = paper_testbed_topology(env, num_devices=devices)
+    api = NCAPI(env, topo, functional=False)
+
+    def scenario():
+        opens = [api.open_device(i) for i in range(devices)]
+        handles = yield env.all_of(opens)
+        devs = [handles[ev] for ev in opens]
+        allocs = [d.allocate_compiled(micro_graph) for d in devs]
+        graphs = yield env.all_of(allocs)
+        pipeline = StreamingPipeline(
+            env, [graphs[ev] for ev in allocs], fps=fps,
+            queue_depth=queue_depth)
+        result = yield pipeline.run(frames)
+        return result
+
+    return env.run(until=env.process(scenario()))
+
+
+def test_validation(micro_graph):
+    env = Environment()
+    with pytest.raises(FrameworkError):
+        StreamingPipeline(env, [], fps=30)
+    with pytest.raises(FrameworkError):
+        StreamingPipeline(env, [object()], fps=0)  # type: ignore
+    with pytest.raises(FrameworkError):
+        StreamingPipeline(env, [object()], fps=30,  # type: ignore
+                          queue_depth=0)
+
+
+def test_underloaded_pipeline_no_drops(micro_graph):
+    # Micro inference ~2.7 ms -> one stick sustains ~370 fps; offer 30.
+    result = _stream(micro_graph, devices=1, fps=30, frames=40)
+    assert result.frames_dropped == 0
+    assert result.frames_processed == 40
+    assert result.drop_rate == 0.0
+    # Latency ~ one inference (no queueing).
+    assert result.latency_percentile(95) < 3 * \
+        micro_graph.inference_seconds
+
+
+def test_overloaded_pipeline_drops_frames(micro_graph):
+    # Offer 3000 fps to one stick (~370 fps capacity): heavy drops.
+    result = _stream(micro_graph, devices=1, fps=3000, frames=200)
+    assert result.frames_dropped > 0
+    assert result.frames_processed + result.frames_dropped == 200
+    assert result.drop_rate > 0.5
+    # Sustained fps saturates near the stick's service rate.
+    assert result.sustained_fps == pytest.approx(
+        1 / micro_graph.inference_seconds, rel=0.25)
+
+
+def test_more_sticks_raise_sustained_fps(micro_graph):
+    r1 = _stream(micro_graph, devices=1, fps=3000, frames=200)
+    r4 = _stream(micro_graph, devices=4, fps=3000, frames=200)
+    assert r4.sustained_fps > 2.5 * r1.sustained_fps
+    assert r4.drop_rate < r1.drop_rate
+
+
+def test_queue_depth_bounds_latency(micro_graph):
+    shallow = _stream(micro_graph, devices=1, fps=3000, frames=150,
+                      queue_depth=1)
+    deep = _stream(micro_graph, devices=1, fps=3000, frames=150,
+                   queue_depth=8)
+    # A deeper queue trades latency for fewer drops.
+    assert deep.latency_percentile(95) > shallow.latency_percentile(95)
+    assert deep.drop_rate <= shallow.drop_rate
+
+
+def test_result_summary_and_guards(micro_graph):
+    result = _stream(micro_graph, devices=1, fps=100, frames=10)
+    s = result.summary()
+    assert "fps sustained" in s and "p95" in s
+    empty = PipelineResult(frames_offered=0, frames_processed=0,
+                           frames_dropped=0, wall_seconds=1.0)
+    assert empty.drop_rate == 0.0
+    with pytest.raises(FrameworkError):
+        empty.latency_percentile(50)
+    zero_time = PipelineResult(frames_offered=1, frames_processed=1,
+                               frames_dropped=0, wall_seconds=0.0)
+    with pytest.raises(FrameworkError):
+        _ = zero_time.sustained_fps
+
+
+def test_run_validation(micro_graph):
+    env = Environment()
+    topo = paper_testbed_topology(env, num_devices=1)
+    api = NCAPI(env, topo, functional=False)
+
+    def scenario():
+        dev = yield api.open_device(0)
+        g = yield dev.allocate_compiled(micro_graph)
+        pipeline = StreamingPipeline(env, [g], fps=30)
+        pipeline.run(0)
+        yield env.timeout(0)
+
+    with pytest.raises(FrameworkError):
+        env.run(until=env.process(scenario()))

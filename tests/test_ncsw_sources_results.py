@@ -1,0 +1,160 @@
+"""Tests for NCSw sources and result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.data import ILSVRCValidation, ImageSynthesizer, Preprocessor
+from repro.data import SynsetVocabulary
+from repro.errors import FrameworkError
+from repro.ncsw import ImageFolder, MPIStream, SyntheticSource
+from repro.ncsw.results import InferenceRecord, RunResult
+
+
+def _dataset():
+    vocab = SynsetVocabulary(num_classes=10)
+    synth = ImageSynthesizer(num_classes=10, size=32, noise_sigma=20)
+    return ILSVRCValidation(vocab, synth, num_images=50, subset_size=10)
+
+
+# --- sources -----------------------------------------------------------------
+
+def test_image_folder_yields_preprocessed_items():
+    ds = _dataset()
+    src = ImageFolder(ds, subset=0, preprocessor=Preprocessor(32))
+    items = list(src)
+    assert len(items) == len(src) == 10
+    first = items[0]
+    assert first.image_id == 1
+    assert first.tensor.shape == (3, 32, 32)
+    assert first.tensor.dtype == np.float32
+    assert first.label == ds.record(1).label
+
+
+def test_image_folder_limit():
+    ds = _dataset()
+    src = ImageFolder(ds, subset=1, preprocessor=Preprocessor(32),
+                      limit=3)
+    items = list(src)
+    assert len(items) == 3
+    assert items[0].image_id == 11  # subset 1 starts at id 11
+    with pytest.raises(FrameworkError):
+        ImageFolder(ds, subset=0, preprocessor=Preprocessor(32), limit=0)
+
+
+def test_image_folder_reiterable_and_tracks_decode():
+    ds = _dataset()
+    src = ImageFolder(ds, subset=0, preprocessor=Preprocessor(32),
+                      limit=4)
+    a = [i.image_id for i in src]
+    b = [i.image_id for i in src]
+    assert a == b
+    assert src.decoder.stats.images == 8  # two passes of 4
+
+
+def test_synthetic_source():
+    src = SyntheticSource(5)
+    items = list(src)
+    assert len(items) == 5
+    assert all(i.tensor is None and i.label is None for i in items)
+    with pytest.raises(FrameworkError):
+        SyntheticSource(0)
+
+
+def test_mpi_stream_roundtrip():
+    stream = MPIStream(source_rank=0)
+    x = np.ones((3, 8, 8), dtype=np.float32)
+    stream.send(x, label=3, tag="frame0")
+    stream.send(x * 2, label=5)
+    stream.close()
+    items = list(stream)
+    assert len(items) == len(stream) == 2
+    assert items[0].label == 3
+    assert items[1].label == 5
+    np.testing.assert_array_equal(items[1].tensor, x * 2)
+
+
+def test_mpi_stream_requires_close():
+    stream = MPIStream()
+    stream.send(None)
+    with pytest.raises(FrameworkError):
+        list(stream)
+    stream.close()
+    with pytest.raises(FrameworkError):
+        stream.send(None)  # closed stream rejects sends
+
+
+def test_mpi_stream_reiterable():
+    stream = MPIStream()
+    stream.send(None, label=1)
+    stream.close()
+    assert [i.label for i in stream] == [1]
+    assert [i.label for i in stream] == [1]
+
+
+# --- results --------------------------------------------------------------------
+
+def _record(idx, label, predicted, conf=0.9, device="d", t0=0.0, t1=0.1):
+    return InferenceRecord(index=idx, image_id=idx + 1, label=label,
+                           predicted=predicted, confidence=conf,
+                           device=device, t_submit=t0, t_complete=t1)
+
+
+def test_record_latency_and_correct():
+    r = _record(0, 3, 3, t0=1.0, t1=1.5)
+    assert r.latency == pytest.approx(0.5)
+    assert r.correct is True
+    assert _record(0, 3, 4).correct is False
+    assert _record(0, None, 4).correct is None
+
+
+def test_run_result_throughput():
+    rr = RunResult(source="s", target="t", batch_size=8)
+    rr.records = [_record(i, 0, 0) for i in range(10)]
+    rr.wall_seconds = 2.0
+    assert rr.images == 10
+    assert rr.throughput() == pytest.approx(5.0)
+    assert rr.seconds_per_image() == pytest.approx(0.2)
+
+
+def test_run_result_top1_error():
+    rr = RunResult(source="s", target="t", batch_size=1)
+    rr.records = [_record(0, 1, 1), _record(1, 1, 2), _record(2, 0, 0),
+                  _record(3, 2, 1)]
+    assert rr.top1_error() == pytest.approx(0.5)
+
+
+def test_run_result_no_labels_raises():
+    rr = RunResult(source="s", target="t", batch_size=1)
+    rr.records = [_record(0, None, None, conf=None)]
+    rr.wall_seconds = 1.0
+    with pytest.raises(FrameworkError):
+        rr.top1_error()
+
+
+def test_run_result_confidences_only_correct():
+    rr = RunResult(source="s", target="t", batch_size=1)
+    rr.records = [_record(0, 1, 1, conf=0.8), _record(1, 1, 2, conf=0.7)]
+    np.testing.assert_allclose(rr.confidences(), [0.8])
+
+
+def test_run_result_per_device_counts():
+    rr = RunResult(source="s", target="t", batch_size=4)
+    rr.records = [_record(i, 0, 0, device=f"vpu{i % 2}")
+                  for i in range(6)]
+    assert rr.per_device_counts() == {"vpu0": 3, "vpu1": 3}
+
+
+def test_run_result_summary_renders():
+    rr = RunResult(source="s", target="t", batch_size=2)
+    rr.records = [_record(0, 1, 1)]
+    rr.wall_seconds = 0.5
+    s = rr.summary()
+    assert "s->t" in s and "img/s" in s and "top-1" in s
+
+
+def test_run_result_empty_guards():
+    rr = RunResult(source="s", target="t", batch_size=1)
+    with pytest.raises(FrameworkError):
+        rr.throughput()
+    with pytest.raises(FrameworkError):
+        rr.seconds_per_image()

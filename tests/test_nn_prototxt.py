@@ -1,0 +1,180 @@
+"""Tests for prototxt serialisation and npz weight archives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn import (
+    Convolution,
+    GoogLeNetConfig,
+    Network,
+    ReLU,
+    Softmax,
+    build_googlenet,
+    get_model,
+    initialize_network,
+)
+from repro.nn.prototxt import from_prototxt, to_prototxt
+from repro.nn.weights import load_weights, save_weights
+from repro.tensors import BlobShape
+
+
+def _tiny_net():
+    net = Network("tiny", "data", BlobShape(1, 2, 8, 8))
+    net.add(Convolution("conv", "data", "conv", num_output=3,
+                        kernel_size=3, in_channels=2, pad=1, stride=1))
+    net.add(ReLU("relu", "conv", "conv"))
+    net.add(Softmax("prob", "conv", "prob"))
+    return net
+
+
+# --- emission ---------------------------------------------------------------
+
+def test_emit_contains_structure():
+    text = to_prototxt(_tiny_net())
+    assert 'name: "tiny"' in text
+    assert 'input: "data"' in text
+    assert text.count("input_dim:") == 4
+    assert 'type: "Convolution"' in text
+    assert "num_output: 3" in text
+    assert 'bottom: "conv"' in text  # in-place relu
+
+
+def test_emit_googlenet_structure():
+    net = build_googlenet(GoogLeNetConfig(input_size=64, width=0.25,
+                                          num_classes=10))
+    text = to_prototxt(net)
+    assert text.count("layer {") == len(net.layers)
+    assert 'type: "Concat"' in text
+    assert "global_pooling: true" in text
+    assert 'pool: "AVE"' in text
+
+
+# --- roundtrip --------------------------------------------------------------------
+
+def test_roundtrip_tiny():
+    net = _tiny_net()
+    rebuilt = from_prototxt(to_prototxt(net))
+    assert rebuilt.name == net.name
+    assert len(rebuilt) == len(net)
+    assert rebuilt.infer_shapes() == net.infer_shapes()
+
+
+def test_roundtrip_googlenet_shapes_and_costs():
+    net = build_googlenet(GoogLeNetConfig(input_size=64, width=0.25,
+                                          num_classes=10))
+    rebuilt = from_prototxt(to_prototxt(net))
+    assert rebuilt.infer_shapes() == net.infer_shapes()
+    assert rebuilt.total_macs(1) == net.total_macs(1)
+    assert [l.name for l in rebuilt.layers] == [
+        l.name for l in net.layers]
+
+
+def test_roundtrip_preserves_function_with_weights():
+    net = get_model("googlenet-micro")
+    initialize_network(net, seed=3)
+    rebuilt = from_prototxt(to_prototxt(net))
+    # Same init seed -> same weights -> same outputs.
+    initialize_network(rebuilt, seed=3)
+    x = np.random.default_rng(0).normal(
+        size=(1, 3, 32, 32)).astype(np.float32) * 0.1
+    np.testing.assert_allclose(rebuilt.forward(x), net.forward(x),
+                               rtol=1e-5)
+
+
+# --- parser errors ----------------------------------------------------------------
+
+def test_parse_requires_input():
+    with pytest.raises(GraphError, match="input"):
+        from_prototxt('name: "x"\n')
+
+
+def test_parse_bad_dims():
+    with pytest.raises(GraphError, match="input_dim"):
+        from_prototxt('input: "d"\ninput_dim: 1\ninput_dim: 2\n')
+
+
+def test_parse_undefined_bottom():
+    text = ('input: "d"\n' + "input_dim: 1\n" * 1 +
+            "input_dim: 1\ninput_dim: 4\ninput_dim: 4\n"
+            'layer { name: "r" type: "ReLU" bottom: "ghost" '
+            'top: "o" }')
+    with pytest.raises(GraphError, match="undefined blob"):
+        from_prototxt(text)
+
+
+def test_parse_unknown_layer_type():
+    text = ('input: "d"\ninput_dim: 1\ninput_dim: 1\n'
+            'input_dim: 4\ninput_dim: 4\n'
+            'layer { name: "b" type: "BatchNorm" bottom: "d" '
+            'top: "o" }')
+    with pytest.raises(GraphError, match="unsupported layer type"):
+        from_prototxt(text)
+
+
+def test_parse_garbage():
+    with pytest.raises(GraphError, match="parse error"):
+        from_prototxt("input: @@@")
+
+
+def test_parse_layer_missing_name():
+    text = ('input: "d"\ninput_dim: 1\ninput_dim: 1\n'
+            'input_dim: 4\ninput_dim: 4\n'
+            'layer { type: "ReLU" bottom: "d" top: "o" }')
+    with pytest.raises(GraphError):
+        from_prototxt(text)
+
+
+# --- weight archives -----------------------------------------------------------------
+
+def test_save_load_weights_roundtrip(tmp_path):
+    net = get_model("googlenet-micro")
+    initialize_network(net, seed=9)
+    path = tmp_path / "weights.npz"
+    save_weights(net, path)
+
+    other = get_model("googlenet-micro")
+    load_weights(other, path)
+    x = np.random.default_rng(1).normal(
+        size=(1, 3, 32, 32)).astype(np.float32) * 0.1
+    np.testing.assert_allclose(other.forward(x), net.forward(x),
+                               rtol=1e-6)
+
+
+def test_load_weights_strict_mismatch(tmp_path):
+    net = get_model("googlenet-micro")
+    initialize_network(net)
+    path = tmp_path / "w.npz"
+    save_weights(net, path)
+    other = _tiny_net()
+    with pytest.raises(GraphError, match="mismatch"):
+        load_weights(other, path)
+
+
+def test_load_weights_non_strict_partial(tmp_path):
+    net = _tiny_net()
+    rng = np.random.default_rng(2)
+    net.layer("conv").set_params(
+        weight=rng.normal(size=(3, 2, 3, 3)).astype(np.float32))
+    path = tmp_path / "w.npz"
+    save_weights(net, path)
+    # A different net with one matching layer name loads just that.
+    other = _tiny_net()
+    load_weights(other, path, strict=False)
+    np.testing.assert_array_equal(other.layer("conv").params["weight"],
+                                  net.layer("conv").params["weight"])
+
+
+def test_prototxt_plus_weights_full_pipeline(tmp_path):
+    """deploy.prototxt + weights.npz reproduce the original network."""
+    net = get_model("googlenet-micro")
+    initialize_network(net, seed=11)
+    (tmp_path / "deploy.prototxt").write_text(to_prototxt(net))
+    save_weights(net, tmp_path / "model.npz")
+
+    rebuilt = from_prototxt((tmp_path / "deploy.prototxt").read_text())
+    load_weights(rebuilt, tmp_path / "model.npz")
+    x = np.random.default_rng(5).normal(
+        size=(2, 3, 32, 32)).astype(np.float32) * 0.1
+    np.testing.assert_allclose(rebuilt.forward(x), net.forward(x),
+                               rtol=1e-6)

@@ -1,0 +1,95 @@
+"""Tests for filtered precision policies and the prefix-drift curve."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.harness.precision_ablation import (
+    prefix_drift_curve,
+    render_drift_curve,
+)
+from repro.nn import get_model
+from repro.nn.weights import initialize_network
+from repro.numerics import PrecisionPolicy
+
+
+@pytest.fixture(scope="module")
+def micro_net():
+    net = get_model("googlenet-micro")
+    initialize_network(net)
+    return net
+
+
+def test_policy_filter_semantics():
+    full = PrecisionPolicy.fp16()
+    assert full.applies_to("anything")
+    partial = PrecisionPolicy.fp16_only({"conv1"})
+    assert partial.applies_to("conv1")
+    assert not partial.applies_to("conv2")
+    assert partial.precision.value == "fp16"
+
+
+def test_empty_filter_equals_fp32(micro_net):
+    x = np.random.default_rng(0).normal(
+        size=(2, 3, 32, 32)).astype(np.float32) * 0.1
+    ref = micro_net.forward(x, PrecisionPolicy.fp32())
+    none_quantized = micro_net.forward(
+        x, PrecisionPolicy.fp16_only(frozenset()))
+    np.testing.assert_array_equal(ref, none_quantized)
+
+
+def test_full_filter_equals_plain_fp16_except_input(micro_net):
+    """Selecting every layer matches full FP16 up to the host-side
+    input conversion (which filtered policies skip)."""
+    x = np.random.default_rng(1).normal(
+        size=(1, 3, 32, 32)).astype(np.float32) * 0.1
+    all_names = frozenset(l.name for l in micro_net.layers)
+    filtered = micro_net.forward(
+        x, PrecisionPolicy.fp16_only(all_names))
+    full = micro_net.forward(x, PrecisionPolicy.fp16())
+    np.testing.assert_allclose(filtered, full, atol=2e-3)
+
+
+def test_partial_drift_between_extremes(micro_net):
+    x = np.random.default_rng(2).normal(
+        size=(4, 3, 32, 32)).astype(np.float32) * 0.1
+    names = [l.name for l in micro_net.layers]
+    ref = micro_net.forward(x, PrecisionPolicy.fp32())
+
+    def drift(policy):
+        return float(np.mean(np.abs(
+            micro_net.forward(x, policy) - ref)))
+
+    half = drift(PrecisionPolicy.fp16_only(
+        frozenset(names[:len(names) // 2])))
+    full = drift(PrecisionPolicy.fp16_only(frozenset(names)))
+    assert 0 < half
+    assert half <= full * 1.5  # partial quantisation doesn't blow up
+
+
+def test_prefix_curve_monotone_trend():
+    points = prefix_drift_curve(scale="smoke", num_images=24)
+    assert points[0].mean_conf_drift == 0.0  # 0% prefix == FP32
+    assert points[0].layers_quantized == 0
+    assert points[-1].fraction == 1.0
+    # Drift grows with prefix length (allow small non-monotonic
+    # wobble from rounding interactions).
+    assert points[-1].mean_conf_drift > points[1].mean_conf_drift / 2
+    assert points[-1].mean_conf_drift > 0
+    # Full-network drift stays in the Fig. 7b ballpark.
+    assert points[-1].mean_conf_drift < 0.05
+    # Few if any top-1 flips (the paper's negligible-impact result).
+    assert points[-1].top1_flips <= 24 * 0.15
+
+
+def test_prefix_curve_validation():
+    with pytest.raises(ReproError):
+        prefix_drift_curve(fractions=(0.0, 2.0))
+
+
+def test_render_drift_curve():
+    points = prefix_drift_curve(scale="smoke", num_images=8,
+                                fractions=(0.0, 1.0))
+    text = render_drift_curve(points)
+    assert "prefix" in text and "conf drift" in text
+    assert len(text.splitlines()) == 4

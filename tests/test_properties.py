@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property targets a load-bearing invariant of a substrate the
+whole stack sits on: kernel determinism, resource-capacity safety,
+FIFO ordering, allocator accounting, scheduler balance, geometry
+monotonicity and latency-model consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BatchLatencyModel
+from repro.errors import AllocationError
+from repro.sim import Environment, Resource, Store
+from repro.tensors import conv_output_hw, pool_output_hw
+from repro.vpu import CMXMemory
+
+
+# --- DES determinism ----------------------------------------------------------
+
+@given(st.lists(st.tuples(st.floats(0.01, 5.0), st.integers(1, 5)),
+                min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_property_sim_determinism(workers):
+    """Identical process graphs produce identical traces, always."""
+
+    def run():
+        env = Environment()
+        trace = []
+
+        def worker(idx, period, count):
+            for i in range(count):
+                yield env.timeout(period)
+                trace.append((round(env.now, 9), idx, i))
+
+        for idx, (period, count) in enumerate(workers):
+            env.process(worker(idx, period, count))
+        env.run()
+        return trace, env.now
+
+    assert run() == run()
+
+
+@given(st.lists(st.floats(0.01, 10.0), min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_property_clock_ends_at_max_timeout(delays):
+    env = Environment()
+    for d in delays:
+        env.timeout(d)
+    env.run()
+    assert env.now == pytest.approx(max(delays))
+
+
+# --- resource safety --------------------------------------------------------------
+
+@given(st.integers(1, 4), st.integers(1, 20),
+       st.floats(0.01, 1.0))
+@settings(max_examples=40, deadline=None)
+def test_property_resource_capacity_never_exceeded(capacity, users,
+                                                   hold):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    max_seen = [0]
+
+    def user():
+        with res.request() as req:
+            yield req
+            max_seen[0] = max(max_seen[0], res.count)
+            yield env.timeout(hold)
+
+    for _ in range(users):
+        env.process(user())
+    env.run()
+    assert max_seen[0] <= capacity
+    assert res.count == 0  # everything released
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_property_store_preserves_fifo(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert received == items
+
+
+# --- CMX allocator ---------------------------------------------------------------------
+
+@given(st.lists(st.integers(1, 60_000), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_property_cmx_accounting_is_exact(sizes):
+    cmx = CMXMemory()
+    live = []
+    total = 0
+    for size in sizes:
+        if size > cmx.free:
+            with pytest.raises(AllocationError):
+                cmx.alloc(size)
+            if live:
+                blocks, n = live.pop(0)
+                cmx.free_blocks(blocks)
+                total -= n
+            continue
+        blocks = cmx.alloc(size)
+        live.append((blocks, size))
+        total += size
+        assert cmx.used == total
+        assert sum(b.nbytes for b in blocks) == size
+    for blocks, n in live:
+        cmx.free_blocks(blocks)
+        total -= n
+        assert cmx.used == total
+    assert cmx.used == 0
+
+
+@given(st.integers(1, 16), st.integers(100, 2000))
+@settings(max_examples=50, deadline=None)
+def test_property_cmx_blocks_never_span_capacity(slices, slice_bytes):
+    cmx = CMXMemory(slices=slices, slice_bytes=slice_bytes)
+    blocks = cmx.alloc(cmx.capacity)  # exactly full
+    assert cmx.free == 0
+    for b in blocks:
+        assert b.nbytes <= slice_bytes
+    with pytest.raises(AllocationError):
+        cmx.alloc(1)
+
+
+# --- round-robin balance --------------------------------------------------------------------
+
+@given(st.integers(1, 64), st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_property_round_robin_balance(items, devices):
+    """Static round-robin never skews by more than one item."""
+    counts = [0] * devices
+    for i in range(items):
+        counts[i % devices] += 1
+    assert max(counts) - min(counts) <= 1
+    assert sum(counts) == items
+
+
+# --- geometry monotonicity --------------------------------------------------------------------
+
+@given(st.integers(3, 64), st.integers(1, 5), st.integers(1, 3),
+       st.integers(0, 2))
+@settings(max_examples=100, deadline=None)
+def test_property_pool_ceil_geq_conv_floor(size, kernel, stride, pad):
+    if pad >= kernel or size + 2 * pad < kernel:
+        return
+    ch, cw = conv_output_hw(size, size, kernel, stride, pad)
+    ph, pw = pool_output_hw(size, size, kernel, stride, pad)
+    assert ph >= ch and pw >= cw
+    assert ph - ch <= 1  # ceil exceeds floor by at most one
+
+
+@given(st.integers(8, 64), st.integers(1, 5), st.integers(1, 3))
+@settings(max_examples=100, deadline=None)
+def test_property_conv_output_monotone_in_input(size, kernel, stride):
+    if size + 1 < kernel:
+        return
+    h1, _ = conv_output_hw(size, size, kernel, stride, 0)
+    h2, _ = conv_output_hw(size + stride, size + stride, kernel,
+                           stride, 0)
+    assert h2 == h1 + 1  # one more stride step fits exactly
+
+
+# --- latency model ------------------------------------------------------------------------------
+
+@given(st.floats(1e-3, 1.0), st.floats(0.0, 1.0))
+@settings(max_examples=100, deadline=None)
+def test_property_latency_anchors_roundtrip(t1, frac):
+    t8 = t1 * (0.2 + 0.8 * frac)  # t8 in [0.2*t1, t1]
+    model = BatchLatencyModel.from_anchors(t1, t8)
+    assert model.per_image_seconds(1) == pytest.approx(t1, rel=1e-9)
+    assert model.per_image_seconds(8) == pytest.approx(t8, rel=1e-9)
+    # Monotone non-increasing per-image latency.
+    times = [model.per_image_seconds(b) for b in (1, 2, 4, 8, 16, 32)]
+    assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+
+@given(st.integers(1, 64))
+@settings(max_examples=50, deadline=None)
+def test_property_batch_seconds_consistent(batch):
+    from repro.baselines import CPU_LATENCY
+    per = CPU_LATENCY.per_image_seconds(batch)
+    total = CPU_LATENCY.batch_seconds(batch)
+    assert total == pytest.approx(per * batch)
+    assert CPU_LATENCY.throughput(batch) == pytest.approx(1.0 / per)
+
+
+# --- FP16 GEMM error bound ----------------------------------------------------------------------
+
+@given(st.integers(2, 24), st.integers(123, 200))
+@settings(max_examples=30, deadline=None)
+def test_property_fp16_gemm_error_bounded(n, seed):
+    from repro.mdk import gemm
+    from repro.numerics import PrecisionPolicy
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-1, 1, size=(n, n)).astype(np.float32)
+    b = rng.uniform(-1, 1, size=(n, n)).astype(np.float32)
+    exact = gemm(a, b, PrecisionPolicy.fp32())
+    approx = gemm(a, b, PrecisionPolicy.fp16())
+    # Inputs rounded to fp16 (rel err <= 2^-11 each) and output rounded
+    # once; with FP32 accumulation the absolute error is bounded by
+    # ~3 * 2^-11 * n * max|a||b| — use a loose structural bound.
+    bound = 3 * 2 ** -11 * n + 2 ** -10
+    assert np.max(np.abs(approx - exact)) <= bound

@@ -1,0 +1,117 @@
+"""Tests for the sensitivity-analysis module and dynamic scheduling."""
+
+import pytest
+
+from repro.errors import AllocationError, ReproError
+from repro.harness.sensitivity import (
+    SensitivityRow,
+    elasticity,
+    render_sensitivity,
+    sensitivity_analysis,
+)
+from repro.ncsw import IntelVPU, NCSw, SyntheticSource
+from repro.nn import get_model
+from repro.nn.weights import initialize_network
+from repro.vpu import compile_graph
+
+
+@pytest.fixture(scope="module")
+def micro_graph():
+    net = get_model("googlenet-micro")
+    initialize_network(net)
+    return compile_graph(net)
+
+
+# --- frequency-mismatch guard --------------------------------------------------
+
+def test_chip_rejects_wrong_frequency_graph():
+    from repro.sim import Environment
+    from repro.vpu import Myriad2, Myriad2Config
+    net = get_model("googlenet-micro")
+    initialize_network(net)
+    fast_graph = compile_graph(net, freq_hz=1200e6)
+    env = Environment()
+    chip = Myriad2(env, Myriad2Config())  # 600 MHz
+    with pytest.raises(AllocationError, match="MHz"):
+        chip.allocate_graph(fast_graph)
+
+
+# --- sensitivity ------------------------------------------------------------------
+
+def test_sensitivity_requires_baseline():
+    with pytest.raises(ReproError):
+        sensitivity_analysis(factors=(0.5, 2.0))
+
+
+def test_elasticity_helpers():
+    rows = [
+        SensitivityRow("p", 0.5, 0.2, 50.0),
+        SensitivityRow("p", 2.0, 0.05, 200.0),
+    ]
+    # latency quarters over a 4x factor: slope -1.
+    assert elasticity(rows, "p") == pytest.approx(-1.0)
+    assert elasticity(rows, "p", output="throughput") == \
+        pytest.approx(1.0)
+    with pytest.raises(ReproError):
+        elasticity(rows, "missing")
+    with pytest.raises(ReproError):
+        elasticity(rows, "p", output="wattage")
+
+
+def test_sensitivity_analysis_shapes_and_direction():
+    rows = sensitivity_analysis(factors=(0.5, 1.0), images=16)
+    params = {r.parameter for r in rows}
+    assert params == {"ddr_bandwidth", "clock_frequency",
+                      "usb_bandwidth", "shave_count"}
+    # Halving the clock ~doubles latency.
+    assert elasticity(rows, "clock_frequency") == pytest.approx(
+        -1.0, abs=0.1)
+    # Fewer SHAVEs -> slower, strongly.
+    assert elasticity(rows, "shave_count") < -0.4
+    text = render_sensitivity(rows)
+    assert "elasticities" in text and "clock_frequency" in text
+
+
+# --- dynamic scheduling ------------------------------------------------------------
+
+def test_dynamic_scheduler_processes_everything(micro_graph):
+    fw = NCSw()
+    fw.add_source("s", SyntheticSource(20))
+    fw.add_target("vpu", IntelVPU(graph=micro_graph, num_devices=3,
+                                  functional=False, dynamic=True))
+    run = fw.run("s", "vpu", batch_size=20)
+    assert run.images == 20
+    # All three devices participated.
+    assert len(run.per_device_counts()) == 3
+
+
+def test_dynamic_matches_static_under_uniform_latency(micro_graph):
+    def thr(dynamic):
+        fw = NCSw()
+        fw.add_source("s", SyntheticSource(24))
+        fw.add_target("vpu", IntelVPU(graph=micro_graph,
+                                      num_devices=4,
+                                      functional=False,
+                                      dynamic=dynamic))
+        return fw.run("s", "vpu", batch_size=24).throughput()
+
+    # Dynamic pulls serialise load->get (no double-buffering), so at
+    # micro scale — where the USB transfer is ~20% of the 2.7 ms
+    # inference — static-with-overlap keeps an edge. At paper scale
+    # the gap collapses to ~1% (see the scheduling ablation bench).
+    assert thr(True) == pytest.approx(thr(False), rel=0.3)
+    assert thr(True) <= thr(False)
+
+
+def test_dynamic_balances_under_jitter(micro_graph):
+    fw = NCSw()
+    fw.add_source("s", SyntheticSource(40))
+    fw.add_target("vpu", IntelVPU(graph=micro_graph, num_devices=4,
+                                  functional=False, dynamic=True,
+                                  jitter=0.3))
+    run = fw.run("s", "vpu", batch_size=40)
+    counts = run.per_device_counts()
+    assert sum(counts.values()) == 40
+    # Pull-based assignment: a fast device takes more work; nobody
+    # starves.
+    assert min(counts.values()) >= 1

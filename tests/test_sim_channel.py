@@ -1,0 +1,129 @@
+"""Unit tests for the Channel primitive."""
+
+from repro.sim import Channel, Environment
+
+
+def test_channel_zero_delay_immediate():
+    env = Environment()
+    chan = Channel(env)
+    got = []
+
+    def proc():
+        yield chan.send("msg")
+        item = yield chan.recv()
+        got.append((env.now, item))
+
+    env.process(proc())
+    env.run()
+    assert got == [(0.0, "msg")]
+
+
+def test_channel_constant_delay():
+    env = Environment()
+    chan = Channel(env, delay=2.5)
+    got = []
+
+    def sender():
+        yield chan.send("hello")
+
+    def receiver():
+        item = yield chan.recv()
+        got.append((env.now, item))
+
+    env.process(sender())
+    env.process(receiver())
+    env.run()
+    assert got == [(2.5, "hello")]
+
+
+def test_channel_size_dependent_delay():
+    env = Environment()
+    # delay proportional to message "size" field
+    chan = Channel(env, delay=lambda m: m["size"] / 100.0)
+    got = []
+
+    def sender():
+        yield chan.send({"size": 300})
+
+    def receiver():
+        item = yield chan.recv()
+        got.append(env.now)
+
+    env.process(sender())
+    env.process(receiver())
+    env.run()
+    assert got == [3.0]
+
+
+def test_channel_preserves_fifo_with_equal_delays():
+    env = Environment()
+    chan = Channel(env, delay=1.0)
+    got = []
+
+    def sender():
+        for i in range(3):
+            chan.send(i)
+            yield env.timeout(0.1)
+
+    def receiver():
+        for _ in range(3):
+            item = yield chan.recv()
+            got.append(item)
+
+    env.process(sender())
+    env.process(receiver())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_channel_counters():
+    env = Environment()
+    chan = Channel(env)
+
+    def proc():
+        yield chan.send("a")
+        yield chan.send("b")
+        yield chan.recv()
+
+    env.process(proc())
+    env.run()
+    assert chan.sent == 2
+    assert chan.received == 1
+    assert chan.pending == 1
+
+
+def test_channel_filtered_recv():
+    env = Environment()
+    chan = Channel(env)
+    got = []
+
+    def proc():
+        yield chan.send({"tag": 1})
+        yield chan.send({"tag": 2})
+        item = yield chan.recv(filter=lambda m: m["tag"] == 2)
+        got.append(item["tag"])
+
+    env.process(proc())
+    env.run()
+    assert got == [2]
+
+
+def test_channel_capacity_backpressure():
+    env = Environment()
+    chan = Channel(env, capacity=1)
+    send_times = []
+
+    def sender():
+        yield chan.send("a")
+        send_times.append(env.now)
+        yield chan.send("b")
+        send_times.append(env.now)
+
+    def receiver():
+        yield env.timeout(7)
+        yield chan.recv()
+
+    env.process(sender())
+    env.process(receiver())
+    env.run()
+    assert send_times == [0, 7]

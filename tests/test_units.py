@@ -1,0 +1,77 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_frequency_constants():
+    assert units.MHZ == 1e6
+    assert 600 * units.MHZ == 6e8
+
+
+def test_size_constants():
+    assert units.MiB == 1024 ** 2
+    assert 2 * units.MiB == 2097152
+    assert units.MB == 1e6
+
+
+def test_cycles_to_seconds():
+    # 600 cycles at 600 MHz = 1 microsecond
+    assert units.cycles_to_seconds(600, 600 * units.MHZ) == pytest.approx(
+        1e-6)
+
+
+def test_seconds_to_cycles_roundtrip():
+    f = 600 * units.MHZ
+    assert units.seconds_to_cycles(
+        units.cycles_to_seconds(12345, f), f) == pytest.approx(12345)
+
+
+def test_cycles_invalid_frequency():
+    with pytest.raises(ValueError):
+        units.cycles_to_seconds(1, 0)
+    with pytest.raises(ValueError):
+        units.seconds_to_cycles(1, -5)
+
+
+def test_transfer_time_bandwidth_only():
+    # 400 MB/s moving 4 MB -> 10 ms
+    t = units.transfer_time(4 * units.MB, 400 * units.MB)
+    assert t == pytest.approx(0.01)
+
+
+def test_transfer_time_with_latency():
+    t = units.transfer_time(0, 1 * units.GB, latency_s=1e-4)
+    assert t == pytest.approx(1e-4)
+
+
+def test_transfer_time_validation():
+    with pytest.raises(ValueError):
+        units.transfer_time(1, 0)
+    with pytest.raises(ValueError):
+        units.transfer_time(-1, 1)
+
+
+def test_ms_conversions():
+    assert units.seconds_to_ms(0.0227) == pytest.approx(22.7)
+    assert units.ms_to_seconds(100.7) == pytest.approx(0.1007)
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(2 * units.MiB) == "2.0 MiB"
+    assert units.fmt_bytes(4 * units.GiB) == "4.0 GiB"
+
+
+def test_fmt_time():
+    assert units.fmt_time(0) == "0 s"
+    assert units.fmt_time(1.5) == "1.500 s"
+    assert "ms" in units.fmt_time(0.0129)
+    assert "us" in units.fmt_time(3e-5)
+    assert "ns" in units.fmt_time(5e-8)
+
+
+def test_fmt_rate():
+    assert units.fmt_rate(772, 10) == "77.2 img/s"
+    assert units.fmt_rate(1, 0) == "inf img/s"

@@ -1,0 +1,97 @@
+"""Tests for the compiler's conv+ReLU fusion pass."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Convolution, Network, ReLU, Softmax, build_googlenet
+from repro.nn.weights import initialize_network
+from repro.tensors import BlobShape
+from repro.vpu import compile_graph
+from repro.vpu.compiler.compile import _fusable_relu_names
+
+
+@pytest.fixture(scope="module")
+def paper_net():
+    return build_googlenet()
+
+
+def test_googlenet_fuses_all_57_relus(paper_net):
+    fusable = _fusable_relu_names(paper_net)
+    # Every conv in the deploy topology has an in-place ReLU.
+    assert len(fusable) == 57
+    g = compile_graph(paper_net, fuse_relu=True)
+    assert len(g.layers) == 142 - 57
+    assert sum(1 for l in g.layers if l.fused) == 57
+
+
+def test_fusion_reduces_inference_time(paper_net):
+    fused = compile_graph(paper_net, fuse_relu=True)
+    unfused = compile_graph(paper_net, fuse_relu=False)
+    assert fused.inference_seconds < unfused.inference_seconds
+    # Each fused ReLU saves at least its dispatch slot.
+    saved = unfused.inference_seconds - fused.inference_seconds
+    assert saved > 57 * 18e-6 * 0.9
+
+
+def test_fused_schedule_names_absorbed_relu(paper_net):
+    g = compile_graph(paper_net, fuse_relu=True)
+    conv1 = next(l for l in g.layers if l.name == "conv1/7x7_s2")
+    assert conv1.fused == "relu_conv1/7x7_s2"
+
+
+def test_leaky_relu_not_fused():
+    net = Network("n", "data", BlobShape(1, 2, 8, 8))
+    net.add(Convolution("conv", "data", "conv", num_output=2,
+                        kernel_size=3, in_channels=2, pad=1))
+    net.add(ReLU("lrelu", "conv", "conv", negative_slope=0.1))
+    initialize_network(net)
+    assert _fusable_relu_names(net) == {}
+    g = compile_graph(net)
+    assert len(g.layers) == 2
+
+
+def test_non_inplace_relu_not_fused():
+    net = Network("n", "data", BlobShape(1, 2, 8, 8))
+    net.add(Convolution("conv", "data", "conv", num_output=2,
+                        kernel_size=3, in_channels=2, pad=1))
+    net.add(ReLU("relu", "conv", "relu_out"))  # separate top blob
+    initialize_network(net)
+    assert _fusable_relu_names(net) == {}
+
+
+def test_relu_after_non_conv_not_fused():
+    net = Network("n", "data", BlobShape(1, 2, 8, 8))
+    net.add(Softmax("sm", "data", "sm"))
+    net.add(ReLU("relu", "sm", "sm"))
+    assert _fusable_relu_names(net) == {}
+
+
+def test_fusion_preserves_functional_output():
+    """Fusion is a scheduling decision only; the functional path is
+    untouched, so device results are identical either way."""
+    from repro.ncs import NCAPI, USBTopology
+    from repro.sim import Environment
+    from repro.nn import get_model
+
+    net = get_model("googlenet-micro")
+    initialize_network(net)
+    x = np.random.default_rng(0).normal(
+        size=(3, 32, 32)).astype(np.float32) * 0.1
+
+    def run(fuse):
+        env = Environment()
+        topo = USBTopology(env)
+        topo.attach_device("ncs0")
+        api = NCAPI(env, topo, functional=True)
+        graph = compile_graph(net, fuse_relu=fuse)
+
+        def scenario():
+            dev = yield api.open_device(0)
+            h = yield dev.allocate_compiled(graph)
+            yield h.load_tensor(x)
+            result, _ = yield h.get_result()
+            return result
+
+        return env.run(until=env.process(scenario()))
+
+    np.testing.assert_array_equal(run(True), run(False))
