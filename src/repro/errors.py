@@ -87,3 +87,7 @@ class PowerError(ReproError):
 
 class FrameworkError(ReproError):
     """NCSw framework wiring errors (unknown target, empty source...)."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the tracing/metrics layer (repro.obs)."""

@@ -123,16 +123,17 @@ FUNCTIONAL_CLAIMS: list[Claim] = [
 ]
 
 
-def _timing_measurements(images: int) -> dict[str, float]:
+def _timing_measurements(images: int,
+                         obs=None) -> dict[str, float]:
     from repro.harness.figures import (
         fig6b_normalized_scaling,
         fig8a_throughput_per_watt,
         fig8b_projected_throughput,
     )
 
-    fig6b = fig6b_normalized_scaling(images=images)
-    fig8a = fig8a_throughput_per_watt(images=images)
-    fig8b = fig8b_projected_throughput(images=images)
+    fig6b = fig6b_normalized_scaling(images=images, obs=obs)
+    fig8a = fig8a_throughput_per_watt(images=images, obs=obs)
+    fig8b = fig8b_projected_throughput(images=images, obs=obs)
 
     vpu_abs = fig8b.by_label("vpu").y
     cpu_abs = fig8b.by_label("cpu").y
@@ -176,9 +177,13 @@ _BOUND_CHECKS: dict[str, Callable[[float, float], bool]] = {
 }
 
 
-def verify_claims(images: int = 96) -> list[ClaimResult]:
-    """Audit every timing claim; returns one result per claim."""
-    measured = _timing_measurements(images)
+def verify_claims(images: int = 96, obs=None) -> list[ClaimResult]:
+    """Audit every timing claim; returns one result per claim.
+
+    ``obs`` optionally records the audit's runs into an
+    :class:`~repro.obs.session.ObsSession` timeline.
+    """
+    measured = _timing_measurements(images, obs=obs)
     results = []
     for claim in CLAIMS:
         if claim.claim_id not in measured:

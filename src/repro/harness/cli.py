@@ -3,11 +3,18 @@
 ::
 
     python -m repro list
-    python -m repro fig6a --images 160
+    python -m repro fig6a --images 160 --trace /tmp/fig6a.json
     python -m repro fig7a --scale default
     python -m repro headline
     python -m repro report --scale smoke     # everything
     python -m repro profile --model googlenet-mini
+    python -m repro profile-run --target vpu8 --trace /tmp/run.json
+
+``--trace out.json`` on any experiment records a span timeline into
+a Chrome/Perfetto ``trace_event`` file (open at
+https://ui.perfetto.dev) and prints the per-device utilisation
+report; ``profile-run`` does one instrumented run and reports even
+without ``--trace``.
 """
 
 from __future__ import annotations
@@ -22,23 +29,59 @@ from repro.harness.tables import render_comparison, render_figure_table
 
 _FIGURES: dict[str, tuple[str, Callable]] = {
     "fig6a": ("throughput per subset (batch 8)",
-              lambda args: figures.fig6a_throughput_per_subset(
-                  images_per_subset=args.images)),
+              lambda args, obs=None: figures.fig6a_throughput_per_subset(
+                  images_per_subset=args.images, obs=obs)),
     "fig6b": ("normalized scaling vs batch size",
-              lambda args: figures.fig6b_normalized_scaling(
-                  images=args.images)),
+              lambda args, obs=None: figures.fig6b_normalized_scaling(
+                  images=args.images, obs=obs)),
     "fig7a": ("top-1 error per subset (FP32 vs FP16)",
-              lambda args: figures.fig7a_top1_error(scale=args.scale)),
+              lambda args, obs=None: figures.fig7a_top1_error(
+                  scale=args.scale, obs=obs)),
     "fig7b": ("confidence difference per subset",
-              lambda args: figures.fig7b_confidence_difference(
-                  scale=args.scale)),
+              lambda args, obs=None: figures.fig7b_confidence_difference(
+                  scale=args.scale, obs=obs)),
     "fig8a": ("throughput per Watt",
-              lambda args: figures.fig8a_throughput_per_watt(
-                  images=args.images)),
+              lambda args, obs=None: figures.fig8a_throughput_per_watt(
+                  images=args.images, obs=obs)),
     "fig8b": ("projected throughput to 16 VPUs",
-              lambda args: figures.fig8b_projected_throughput(
-                  images=args.images)),
+              lambda args, obs=None: figures.fig8b_projected_throughput(
+                  images=args.images, obs=obs)),
 }
+
+
+def _obs_from_args(args: argparse.Namespace):
+    """An ObsSession when --trace was given, else None."""
+    if getattr(args, "trace", None) is None:
+        return None
+    _check_trace_path(args.trace)
+    from repro.obs import ObsSession
+
+    return ObsSession()
+
+
+def _check_trace_path(trace: str) -> None:
+    """Fail before the run, not after: the trace file is written last,
+    and a bad path would discard minutes of simulation."""
+    from pathlib import Path
+
+    from repro.errors import ObservabilityError
+
+    parent = Path(trace).resolve().parent
+    if not parent.is_dir():
+        raise ObservabilityError(
+            f"--trace: directory {parent} does not exist")
+
+
+def _finish_trace(args: argparse.Namespace, obs) -> None:
+    """Print the utilisation report and write the trace file."""
+    if obs is None:
+        return
+    from repro.harness.export import save_trace_json
+    from repro.obs import utilisation_report
+
+    print(utilisation_report(obs))
+    path = save_trace_json(obs, args.trace)
+    print(f"wrote trace {path} (open in https://ui.perfetto.dev)")
 
 _BAR_FIGURES = {"fig6a", "fig7a"}
 
@@ -51,6 +94,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  audit     verify every quantitative claim in the paper")
     print("  report    all of the above in one run")
     print("  profile   per-layer VPU timing report for a zoo model")
+    print("  profile-run  one instrumented run + utilisation report")
     return 0
 
 
@@ -65,8 +109,10 @@ def _render(name: str, result) -> None:
 
 
 def _cmd_figure(name: str, args: argparse.Namespace) -> int:
-    result = _FIGURES[name][1](args)
+    obs = _obs_from_args(args)
+    result = _FIGURES[name][1](args, obs)
     _render(name, result)
+    _finish_trace(args, obs)
     if getattr(args, "json_dir", None):
         from pathlib import Path
 
@@ -81,20 +127,24 @@ def _cmd_figure(name: str, args: argparse.Namespace) -> int:
 
 def _cmd_headline(args: argparse.Namespace) -> int:
     scale = None if args.scale in (None, "none") else args.scale
-    rows = figures.headline_table(images=args.images, error_scale=scale)
+    obs = _obs_from_args(args)
+    rows = figures.headline_table(images=args.images, error_scale=scale,
+                                  obs=obs)
     print(render_comparison(rows, title="headline: paper vs measured"))
+    _finish_trace(args, obs)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     md_sections: list[str] = []
     results = {}
+    obs = _obs_from_args(args)
     skip_functional = args.scale in (None, "none")
     names = [n for n in _FIGURES
              if not (skip_functional and n in ("fig7a", "fig7b"))]
     for name in names:
         print("=" * 72)
-        results[name] = _FIGURES[name][1](args)
+        results[name] = _FIGURES[name][1](args, obs)
         _render(name, results[name])
         if getattr(args, "json_dir", None):
             from pathlib import Path
@@ -107,8 +157,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print("=" * 72)
     scale = None if args.scale in (None, "none") else args.scale
     rows = figures.headline_table(images=args.images,
-                                  error_scale=scale)
+                                  error_scale=scale, obs=obs)
     print(render_comparison(rows, title="headline: paper vs measured"))
+    _finish_trace(args, obs)
 
     if getattr(args, "markdown", None):
         from pathlib import Path
@@ -135,10 +186,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         verify_functional_claims,
     )
 
-    results = verify_claims(images=args.images)
+    obs = _obs_from_args(args)
+    results = verify_claims(images=args.images, obs=obs)
     if args.scale not in (None, "none"):
         results = results + verify_functional_claims(scale=args.scale)
     print(render_audit(results))
+    _finish_trace(args, obs)
     return 0 if all(r.passed for r in results) else 1
 
 
@@ -152,6 +205,26 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     initialize_network(net)
     graph = compile_graph(net, num_shaves=args.shaves)
     print(per_layer_report(graph, top=args.top))
+    return 0
+
+
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    from repro.harness.figures import _timing_framework
+    from repro.obs import ObsSession, utilisation_report
+
+    if args.trace:
+        _check_trace_path(args.trace)
+    obs = ObsSession()
+    fw = _timing_framework(args.images, obs=obs)
+    run = fw.run("synthetic", args.target, batch_size=args.batch)
+    print(run.summary())
+    print()
+    print(utilisation_report(obs, run.wall_seconds))
+    if args.trace:
+        from repro.harness.export import save_trace_json
+
+        path = save_trace_json(obs, args.trace)
+        print(f"wrote trace {path} (open in https://ui.perfetto.dev)")
     return 0
 
 
@@ -171,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="functional scale: smoke|default|paper")
     common.add_argument("--json-dir", default=None,
                         help="also save each figure as JSON here")
+    common.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a Perfetto trace_event JSON here "
+                             "and print the utilisation report")
 
     for name, (desc, _) in _FIGURES.items():
         sub.add_parser(name, help=desc, parents=[common])
@@ -188,6 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--model", default="googlenet-mini")
     profile.add_argument("--shaves", type=int, default=12)
     profile.add_argument("--top", type=int, default=None)
+
+    profile_run = sub.add_parser(
+        "profile-run",
+        help="one instrumented run + per-device utilisation report")
+    profile_run.add_argument(
+        "--target", default="vpu8",
+        choices=["cpu", "gpu", "vpu1", "vpu2", "vpu4", "vpu8"])
+    profile_run.add_argument("--images", type=int, default=160)
+    profile_run.add_argument("--batch", type=int, default=8)
+    profile_run.add_argument("--trace", default=None, metavar="PATH",
+                             help="also write the Perfetto trace here")
     return parser
 
 
@@ -206,6 +293,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_audit(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "profile-run":
+        return _cmd_profile_run(args)
     raise AssertionError("unreachable")
 
 

@@ -83,3 +83,16 @@ def comparison_to_dict(rows: list[tuple[str, float, float]]
     return [{"metric": m, "paper": float(p), "measured": float(v),
              "ratio": float(v / p) if p else None}
             for m, p, v in rows]
+
+
+def save_trace_json(session: Any, path: str | Path) -> Path:
+    """Write an observability session as Chrome/Perfetto trace JSON.
+
+    Thin harness-level wrapper over
+    :func:`repro.obs.perfetto.write_chrome_trace` so experiment
+    drivers and the CLI only import :mod:`repro.obs` when tracing is
+    actually requested.
+    """
+    from repro.obs.perfetto import write_chrome_trace
+
+    return write_chrome_trace(session, path)

@@ -25,6 +25,7 @@ from repro.harness.experiment import (
     paper_timing_graph,
     paper_timing_network,
 )
+from repro.obs.session import ObsSession
 from repro.ncsw.framework import NCSw
 from repro.ncsw.results import RunResult
 from repro.ncsw.sources import ImageFolder, SyntheticSource
@@ -73,8 +74,9 @@ class FigureResult:
 # Timing experiments (paper-scale graph, non-functional)
 # ---------------------------------------------------------------------------
 
-def _timing_framework(num_images: int, jitter: float = 0.0) -> NCSw:
-    fw = NCSw()
+def _timing_framework(num_images: int, jitter: float = 0.0,
+                      obs: Optional[ObsSession] = None) -> NCSw:
+    fw = NCSw(obs=obs)
     fw.add_source("synthetic", SyntheticSource(num_images))
     net = paper_timing_network()
     graph = paper_timing_graph()
@@ -91,14 +93,16 @@ def _timing_framework(num_images: int, jitter: float = 0.0) -> NCSw:
 def fig6a_throughput_per_subset(
         num_subsets: int = 5,
         images_per_subset: int = TIMING_IMAGES,
-        jitter: float = 0.0) -> FigureResult:
+        jitter: float = 0.0,
+        obs: Optional[ObsSession] = None) -> FigureResult:
     """Fig. 6a: inference throughput per validation subset, batch 8.
 
     ``jitter`` enables the testbed-noise model (relative std-dev of
     per-inference latency), which reproduces the paper's error bars;
-    0 keeps the simulation deterministic.
+    0 keeps the simulation deterministic.  ``obs`` records a span
+    timeline and metrics across the runs (see :mod:`repro.obs`).
     """
-    fw = _timing_framework(images_per_subset, jitter=jitter)
+    fw = _timing_framework(images_per_subset, jitter=jitter, obs=obs)
     result = FigureResult(
         figure_id="fig6a",
         title="Inference performance per subset (batch 8)",
@@ -131,10 +135,11 @@ def fig6a_throughput_per_subset(
 
 
 def fig6b_normalized_scaling(
-        images: int = TIMING_IMAGES) -> FigureResult:
+        images: int = TIMING_IMAGES,
+        obs: Optional[ObsSession] = None) -> FigureResult:
     """Fig. 6b: performance scaling vs batch size, normalised to the
     single-input test of each device (VPU count == batch size)."""
-    fw = _timing_framework(images)
+    fw = _timing_framework(images, obs=obs)
     batches = (1, 2, 4, 8)
     result = FigureResult(
         figure_id="fig6b",
@@ -164,9 +169,10 @@ def fig6b_normalized_scaling(
 
 
 def fig8a_throughput_per_watt(
-        images: int = TIMING_IMAGES) -> FigureResult:
+        images: int = TIMING_IMAGES,
+        obs: Optional[ObsSession] = None) -> FigureResult:
     """Fig. 8a: throughput per Watt (Eq. 1) vs batch size."""
-    fw = _timing_framework(images)
+    fw = _timing_framework(images, obs=obs)
     batches = (1, 2, 4, 8)
     result = FigureResult(
         figure_id="fig8a",
@@ -192,10 +198,11 @@ def fig8a_throughput_per_watt(
 
 
 def fig8b_projected_throughput(
-        images: int = TIMING_IMAGES) -> FigureResult:
+        images: int = TIMING_IMAGES,
+        obs: Optional[ObsSession] = None) -> FigureResult:
     """Fig. 8b: throughput vs batch size up to 16, with the multi-VPU
     series projected past the 8 sticks the testbed holds."""
-    fw = _timing_framework(images)
+    fw = _timing_framework(images, obs=obs)
     batches = (1, 2, 4, 8, 16)
     result = FigureResult(
         figure_id="fig8b",
@@ -233,10 +240,11 @@ def fig8b_projected_throughput(
 # ---------------------------------------------------------------------------
 
 def _precision_runs(ctx: ExperimentContext, subset: int,
-                    vpu_devices: int = 8
+                    vpu_devices: int = 8,
+                    obs: Optional[ObsSession] = None
                     ) -> tuple[RunResult, RunResult, RunResult]:
     """Run one subset through CPU (FP32), GPU (FP32) and VPU (FP16)."""
-    fw = NCSw()
+    fw = NCSw(obs=obs)
     fw.add_source("val", ImageFolder(
         ctx.dataset, subset, ctx.preprocessor,
         limit=ctx.scale.images_per_subset))
@@ -251,7 +259,8 @@ def _precision_runs(ctx: ExperimentContext, subset: int,
 
 
 def fig7a_top1_error(scale: str = "default",
-                     num_subsets: Optional[int] = None) -> FigureResult:
+                     num_subsets: Optional[int] = None,
+                     obs: Optional[ObsSession] = None) -> FigureResult:
     """Fig. 7a: top-1 inference error per subset, FP32 vs FP16."""
     ctx = get_context(scale)
     n = num_subsets or ctx.scale.num_subsets
@@ -269,7 +278,7 @@ def fig7a_top1_error(scale: str = "default",
     subsets = tuple(f"Set-{i + 1}" for i in range(n))
     cpu_err, vpu_err, gpu_err = [], [], []
     for s in range(n):
-        cpu, gpu, vpu = _precision_runs(ctx, s)
+        cpu, gpu, vpu = _precision_runs(ctx, s, obs=obs)
         cpu_err.append(cpu.top1_error())
         gpu_err.append(gpu.top1_error())
         vpu_err.append(vpu.top1_error())
@@ -283,7 +292,8 @@ def fig7a_top1_error(scale: str = "default",
 
 def fig7b_confidence_difference(
         scale: str = "default",
-        num_subsets: Optional[int] = None) -> FigureResult:
+        num_subsets: Optional[int] = None,
+        obs: Optional[ObsSession] = None) -> FigureResult:
     """Fig. 7b: mean |confidence_FP32 - confidence_FP16| per subset,
     over images both precisions classify correctly."""
     ctx = get_context(scale)
@@ -301,7 +311,7 @@ def fig7b_confidence_difference(
     subsets = tuple(f"Set-{i + 1}" for i in range(n))
     diffs, stds = [], []
     for s in range(n):
-        cpu, _, vpu = _precision_runs(ctx, s)
+        cpu, _, vpu = _precision_runs(ctx, s, obs=obs)
         cpu_by_id = {r.image_id: r for r in cpu.records}
         pair_diffs = []
         for rv in vpu.records:
@@ -323,14 +333,15 @@ def fig7b_confidence_difference(
 # ---------------------------------------------------------------------------
 
 def headline_table(images: int = TIMING_IMAGES,
-                   error_scale: Optional[str] = "default"
+                   error_scale: Optional[str] = "default",
+                   obs: Optional[ObsSession] = None
                    ) -> list[tuple[str, float, float]]:
     """The paper's headline numbers: (metric, paper value, measured).
 
     ``error_scale=None`` skips the functional error rows (used by the
     timing-only benchmark).
     """
-    fw = _timing_framework(images)
+    fw = _timing_framework(images, obs=obs)
     rows: list[tuple[str, float, float]] = []
 
     cpu1 = fw.run("synthetic", "cpu", batch_size=1)
@@ -371,12 +382,13 @@ def headline_table(images: int = TIMING_IMAGES,
                  throughput_per_watt(gpu8.throughput(), 80.0)))
 
     if error_scale is not None:
-        fig7a = fig7a_top1_error(scale=error_scale)
+        fig7a = fig7a_top1_error(scale=error_scale, obs=obs)
         cpu_mean = float(np.mean(fig7a.by_label("cpu_fp32").y))
         vpu_mean = float(np.mean(fig7a.by_label("vpu_fp16").y))
         rows.append(("cpu_top1_error", 0.3201, cpu_mean))
         rows.append(("vpu_top1_error", 0.3192, vpu_mean))
-        fig7b = fig7b_confidence_difference(scale=error_scale)
+        fig7b = fig7b_confidence_difference(scale=error_scale,
+                                            obs=obs)
         rows.append(("confidence_diff", 0.0044,
                      float(np.mean(fig7b.series[0].y))))
     return rows

@@ -122,6 +122,11 @@ class NCSDevice:
         self.chip.islands.power_on("usb")
         self._scheduler = self.env.process(self._scheduler_loop())
         self._emit("booted", version=self.firmware.version)
+        obs = self.env.obs
+        if obs is not None:
+            obs.tracer.instant("booted", track=self.device_id,
+                               version=self.firmware.version)
+            obs.power_monitor(self.device_id).record(self.idle_power_w)
 
     def close(self) -> None:
         """Tear the device down; subsequent operations fail."""
@@ -238,6 +243,14 @@ class NCSDevice:
             item: _Inference = yield self._in_fifo.get()
             graph = self._require_graph()
             item.started_at = self.env.now
+            obs = self.env.obs
+            span = None
+            if obs is not None:
+                span = obs.tracer.begin("inference",
+                                        track=self.device_id,
+                                        seq=item.seq)
+                obs.power_monitor(self.device_id).record(
+                    self.active_power_w)
             if self.thermal is not None:
                 # Idle interval since the last activity, then check
                 # whether the firmware is holding the clock down.
@@ -263,6 +276,12 @@ class NCSDevice:
             item.finished_at = self.env.now
             self.inference_times.append(
                 item.finished_at - item.started_at)
+            if obs is not None:
+                obs.tracer.end(span)
+                obs.power_monitor(self.device_id).record(
+                    self.idle_power_w)
+                obs.metrics.histogram("ncs.inference_seconds").observe(
+                    item.finished_at - item.started_at)
             yield self._out_fifo.put(item)
             self._emit("inference_complete", seq=item.seq,
                        seconds=item.finished_at - item.started_at)

@@ -51,7 +51,8 @@ class GraphHandle:
         and queued for execution — *not* when inference finishes.
         """
         self._check()
-        return self._device.submit(tensor, user)
+        return self._spanned("load_tensor",
+                             self._device.submit(tensor, user))
 
     def get_result(self) -> Event:
         """Blocking result retrieval (``mvncGetResult``).
@@ -60,7 +61,25 @@ class GraphHandle:
         oldest completed inference.
         """
         self._check()
-        return self._device.collect()
+        return self._spanned("get_result", self._device.collect())
+
+    def _spanned(self, name: str, event: Event) -> Event:
+        """Wrap an API call event in a host-side tracer span.
+
+        The span opens at call time and closes when the event fires,
+        so FIFO back-pressure and result waits are visible on the
+        ``<device>/host`` track of the timeline.
+        """
+        obs = self._device.env.obs
+        if obs is not None:
+            span = obs.tracer.begin(
+                name, track=f"{self._device.device_id}/host")
+            callbacks = event.callbacks
+            if callbacks is None:  # already processed: zero-length
+                obs.tracer.end(span)
+            else:
+                callbacks.append(lambda _ev: obs.tracer.end(span))
+        return event
 
     def time_taken(self) -> list[float]:
         """Per-inference device execution times so far, in seconds."""

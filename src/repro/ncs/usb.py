@@ -171,10 +171,10 @@ class USBTopology:
         parallel, devices behind the same hub serialise.
         """
         path = self.path(device_id)
-        return self.env.process(self._transfer(path, nbytes))
+        return self.env.process(self._transfer(path, nbytes, device_id))
 
-    def _transfer(self, path: tuple[str, ...],
-                  nbytes: int) -> Generator[Event, None, float]:
+    def _transfer(self, path: tuple[str, ...], nbytes: int,
+                  device_id: str = "") -> Generator[Event, None, float]:
         links = [self.links[name] for name in path]
         # The path's cost is bounded by its slowest link; latency adds
         # per hop.
@@ -189,7 +189,19 @@ class USBTopology:
                     req = link._lock.request()
                     requests.append((link, req))
                     yield req
+                # Link occupancy span covers exactly the locked window
+                # (the deepest shared link on the path — the hub
+                # upstream for hub devices — is where contention shows).
+                obs = self.env.obs
+                span = None
+                if obs is not None:
+                    span = obs.tracer.begin(
+                        "usb_transfer", track=f"usb:{path[-1]}",
+                        device=device_id, nbytes=nbytes,
+                        attempt=attempt)
                 yield self.env.timeout(duration)
+                if obs is not None:
+                    obs.tracer.end(span)
                 failed = any(link.attempt_fails() for link in links)
                 if not failed:
                     for link in links:

@@ -15,13 +15,16 @@ groups concurrently; :meth:`NCSw.run_group` implements that split.
 from __future__ import annotations
 
 import itertools
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.errors import FrameworkError
 from repro.ncsw.results import RunResult
 from repro.ncsw.sources import ImageFolder, SourceImage, WorkItem
 from repro.ncsw.targets import TargetDevice
 from repro.sim.core import Environment, Event
+
+if TYPE_CHECKING:
+    from repro.obs.session import ObsSession
 
 
 def _batched(items: list[WorkItem], size: int):
@@ -34,11 +37,23 @@ def _batched(items: list[WorkItem], size: int):
 
 
 class NCSw:
-    """Framework facade: register sources/targets, then run."""
+    """Framework facade: register sources/targets, then run.
 
-    def __init__(self) -> None:
+    Pass an :class:`~repro.obs.session.ObsSession` as ``obs`` to
+    record a span timeline and metrics across every run; the default
+    (no session) adds zero overhead and changes no results.
+    """
+
+    def __init__(self, obs: Optional["ObsSession"] = None) -> None:
         self._sources: dict[str, SourceImage] = {}
         self._targets: dict[str, TargetDevice] = {}
+        self.obs = obs
+
+    def _new_environment(self) -> Environment:
+        env = Environment()
+        if self.obs is not None:
+            self.obs.attach(env)
+        return env
 
     # -- registration -----------------------------------------------------
     def add_source(self, name: str, source: SourceImage) -> None:
@@ -81,17 +96,38 @@ class NCSw:
         if not items:
             raise FrameworkError(f"source {source_name!r} is empty")
 
-        env = Environment()
+        env = self._new_environment()
+        obs = env.obs
         result = RunResult(source=source_name, target=target_name,
                            batch_size=batch_size)
 
         def main() -> Generator[Event, None, None]:
+            prep = None
+            if obs is not None:
+                prep = obs.tracer.begin("prepare", track="host",
+                                        target=target_name)
             yield target.prepare(env)
+            root = None
+            if obs is not None:
+                obs.tracer.end(prep)
+                root = obs.tracer.begin(
+                    "run", track="host", source=source_name,
+                    target=target_name, batch_size=batch_size,
+                    images=len(items))
             t0 = env.now
-            for chunk in _batched(items, batch_size):
+            for i, chunk in enumerate(_batched(items, batch_size)):
+                span = None
+                if obs is not None:
+                    span = obs.tracer.begin(
+                        "process_batch", track="host", batch=i,
+                        size=len(chunk))
                 records = yield target.process_batch(chunk)
+                if obs is not None:
+                    obs.tracer.end(span)
                 result.records.extend(records)
             result.wall_seconds = env.now - t0
+            if obs is not None:
+                obs.tracer.end(root)
 
         env.run(until=env.process(main()))
         if isinstance(source, ImageFolder):
@@ -107,6 +143,10 @@ class NCSw:
         Items are dealt round-robin across the groups; all groups run
         in the same simulated timeline (sharing nothing but the
         clock), and each gets its own :class:`RunResult`.
+
+        With more targets than items, some groups receive an empty
+        split; their results are marked ``empty`` (zero wall time, no
+        records) so they cannot be mistaken for measurements.
         """
         if not target_names:
             raise FrameworkError("run_group needs at least one target")
@@ -119,19 +159,44 @@ class NCSw:
         for i, item in enumerate(items):
             splits[i % len(targets)].append(item)
 
-        env = Environment()
+        env = self._new_environment()
+        obs = env.obs
         results = {name: RunResult(source=source_name, target=name,
                                    batch_size=batch_size)
                    for name in target_names}
+        for name, work in zip(target_names, splits):
+            if not work:
+                results[name].empty = True
 
         def group_main(target: TargetDevice, work: list[WorkItem],
                        result: RunResult) -> Generator[Event, None, None]:
+            track = f"host/{result.target}"
+            prep = None
+            if obs is not None:
+                prep = obs.tracer.begin("prepare", track=track,
+                                        target=result.target)
             yield target.prepare(env)
+            root = None
+            if obs is not None:
+                obs.tracer.end(prep)
+                root = obs.tracer.begin(
+                    "run", track=track, source=source_name,
+                    target=result.target, batch_size=batch_size,
+                    images=len(work))
             t0 = env.now
-            for chunk in _batched(work, batch_size):
+            for i, chunk in enumerate(_batched(work, batch_size)):
+                span = None
+                if obs is not None:
+                    span = obs.tracer.begin("process_batch",
+                                            track=track, batch=i,
+                                            size=len(chunk))
                 records = yield target.process_batch(chunk)
+                if obs is not None:
+                    obs.tracer.end(span)
                 result.records.extend(records)
             result.wall_seconds = env.now - t0
+            if obs is not None:
+                obs.tracer.end(root)
 
         procs = [env.process(group_main(t, w, results[n]))
                  for t, w, n in zip(targets, splits, target_names) if w]

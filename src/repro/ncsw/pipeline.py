@@ -70,9 +70,16 @@ class PipelineResult:
         return float(np.percentile(self.latencies, q))
 
     def summary(self) -> str:
-        """One-line human-readable summary of the run."""
-        return (f"{self.frames_processed}/{self.frames_offered} frames "
-                f"({self.drop_rate:.1%} dropped), "
+        """One-line human-readable summary of the run.
+
+        Degrades gracefully when every frame was dropped: no latency
+        percentiles are printed instead of raising.
+        """
+        head = (f"{self.frames_processed}/{self.frames_offered} frames "
+                f"({self.drop_rate:.1%} dropped)")
+        if not self.latencies:
+            return head + ", no completed frames"
+        return (head + ", "
                 f"{self.sustained_fps:.1f} fps sustained, "
                 f"latency p50 {self.latency_percentile(50) * 1000:.1f} "
                 f"ms / p95 {self.latency_percentile(95) * 1000:.1f} ms")
@@ -128,25 +135,41 @@ class StreamingPipeline:
     def _producer(self, num_frames: int
                   ) -> Generator[Event, None, None]:
         interval = 1.0 / self.fps
+        obs = self.env.obs
         for frame_id in range(num_frames):
             if self._queued >= self.queue_depth:
                 # Live pipeline: skip the frame rather than stall the
                 # camera (drop-newest policy).
                 self.dropped += 1
+                if obs is not None:
+                    obs.metrics.counter("pipeline.frames_dropped").inc()
             else:
                 self._queued += 1
                 yield self._queue.put(
                     FrameRecord(frame_id, arrived_at=self.env.now))
+                if obs is not None:
+                    obs.metrics.gauge("pipeline.queue_depth").set(
+                        self._queued)
+            if obs is not None:
+                obs.metrics.counter("pipeline.frames_offered").inc()
             yield self.env.timeout(interval)
 
     def _worker(self, graph: GraphHandle
                 ) -> Generator[Event, None, None]:
+        obs = self.env.obs
         while True:
             frame = yield self._queue.get()
             if frame is None:
                 return
             self._queued -= 1
+            if obs is not None:
+                obs.metrics.gauge("pipeline.queue_depth").set(
+                    self._queued)
             yield graph.load_tensor(None, user=frame)
             _, got = yield graph.get_result()
             got.completed_at = self.env.now
             self.records.append(got)
+            if obs is not None:
+                obs.metrics.histogram(
+                    "pipeline.latency_seconds").observe(
+                        got.completed_at - got.arrived_at)

@@ -56,6 +56,10 @@ class RunResult:
     records: list[InferenceRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
     decode_seconds_excluded: float = 0.0
+    #: True when the target received no work at all (e.g. an empty
+    #: round-robin split in ``run_group`` with more targets than
+    #: items); such a result holds no measurement.
+    empty: bool = False
 
     @property
     def images(self) -> int:
@@ -64,12 +68,20 @@ class RunResult:
 
     def throughput(self) -> float:
         """Images per second over the run (paper Fig. 6a metric)."""
+        if self.empty:
+            raise FrameworkError(
+                f"target {self.target!r} received no work items "
+                "(empty split)")
         if self.wall_seconds <= 0:
             raise FrameworkError("run has no elapsed time")
         return self.images / self.wall_seconds
 
     def seconds_per_image(self) -> float:
         """Mean inference time per image."""
+        if self.empty:
+            raise FrameworkError(
+                f"target {self.target!r} received no work items "
+                "(empty split)")
         if self.images == 0:
             raise FrameworkError("run has no records")
         return self.wall_seconds / self.images
@@ -133,6 +145,9 @@ class RunResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        if self.empty:
+            return (f"{self.source}->{self.target} | empty "
+                    "(no work items assigned)")
         parts = [f"{self.source}->{self.target}",
                  f"{self.images} images",
                  f"batch {self.batch_size}",

@@ -70,9 +70,12 @@ class MultiVPUScheduler:
     # -- dynamic (pull-based) variant ----------------------------------
     def _run_dynamic(self,
                      items: list[WorkItem]) -> Generator[Event, None, None]:
+        obs = self.env.obs
         queue: Store = Store(self.env)
         for item in items:
             queue.put(item)
+        if obs is not None:
+            obs.metrics.gauge("scheduler.queue_depth").set(len(items))
         for _ in self.graphs:
             queue.put(None)  # poison pill per worker
         workers = [self.env.process(self._dynamic_worker(g, queue, idx))
@@ -83,10 +86,15 @@ class MultiVPUScheduler:
                         device_index: int
                         ) -> Generator[Event, None, None]:
         device_name = f"vpu{device_index}"
+        obs = self.env.obs
         while True:
             item = yield queue.get()
             if item is None:
                 return
+            if obs is not None:
+                # Remaining real work (poison pills excluded).
+                obs.metrics.gauge("scheduler.queue_depth").set(
+                    sum(1 for i in queue.items if i is not None))
             t0 = self.env.now
             yield graph.load_tensor(item.tensor, user=item)
             result, got = yield graph.get_result()

@@ -85,7 +85,14 @@ class _HostTarget(TargetDevice):
         tensors = [i.tensor for i in items]
         x = (np.stack(tensors) if all(t is not None for t in tensors)
              else None)
+        obs = self._env.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin("infer_batch", track=self.name,
+                                    size=len(items))
         probs = yield self._device.run_batch(x, batch=len(items))
+        if obs is not None:
+            obs.tracer.end(span)
         records = []
         for pos, item in enumerate(items):
             predicted = confidence = topk = None

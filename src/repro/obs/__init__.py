@@ -1,0 +1,61 @@
+"""repro.obs — end-to-end tracing and metrics for the simulation.
+
+The observability layer the paper's analysis implicitly relied on:
+span-based tracing stamped with simulated time (:mod:`tracer`), a
+metrics registry with counters / gauges / percentile histograms
+(:mod:`metrics`), the :class:`ObsSession` bundle that threads through
+the whole stack (:mod:`session`), a Chrome/Perfetto ``trace_event``
+exporter (:mod:`perfetto`) and a per-device utilisation report
+(:mod:`report`).
+
+Typical use::
+
+    from repro.obs import ObsSession, utilisation_report, \
+        write_chrome_trace
+    from repro.ncsw import NCSw
+
+    session = ObsSession()
+    fw = NCSw(obs=session)
+    ...
+    run = fw.run("synthetic", "vpu8", batch_size=8)
+    print(utilisation_report(session, run.wall_seconds))
+    write_chrome_trace(session, "trace.json")  # open in ui.perfetto.dev
+
+Everything is zero-cost when no session is attached: instrumentation
+points guard on ``env.obs is None`` and benchmark numbers are
+byte-identical with tracing off.
+"""
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TracerClock,
+)
+from repro.obs.session import ObsSession
+from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
+from repro.obs.report import (
+    device_utilisation,
+    link_occupancy,
+    utilisation_report,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TracerClock",
+    "ObsSession",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "device_utilisation",
+    "link_occupancy",
+    "utilisation_report",
+]

@@ -1,0 +1,205 @@
+"""Metrics primitives: counters, gauges and histograms.
+
+Counters accumulate monotonically (frames dropped, processes
+started); gauges sample a piecewise-constant signal against the
+simulated clock and reuse :class:`~repro.sim.monitor.Monitor` for the
+time-weighted statistics (queue-depth time-averages, power → energy
+integrals); histograms keep raw observations and report percentiles
+(p50/p95/p99 latency).
+
+A :class:`MetricsRegistry` is a get-or-create namespace for all
+three, owned by an :class:`~repro.obs.session.ObsSession`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+from repro.sim.monitor import Monitor
+
+
+class TracerClock:
+    """Environment-shaped shim exposing a clock callable as ``.now``.
+
+    Lets session-lifetime :class:`~repro.sim.monitor.Monitor`
+    instances keep working across the short-lived simulation
+    environments the experiment drivers create per run.
+    """
+
+    def __init__(self, now_fn: Callable[[], float]) -> None:
+        self._now_fn = now_fn
+
+    @property
+    def now(self) -> float:
+        """Current timestamp from the wrapped clock callable."""
+        return self._now_fn()
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r}: negative increment {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Sampled piecewise-constant signal (e.g. queue depth).
+
+    Samples are stamped with the owning session's clock; the
+    time-weighted statistics delegate to the underlying
+    :class:`~repro.sim.monitor.Monitor`.
+    """
+
+    def __init__(self, name: str, clock: TracerClock) -> None:
+        self.name = name
+        self._monitor = Monitor(clock, name=name)
+
+    def set(self, value: float) -> None:
+        """Record a new value effective from the current timestamp."""
+        self._monitor.record(value)
+
+    @property
+    def last(self) -> float:
+        """Most recently set value (0.0 before the first sample)."""
+        return self._monitor.last
+
+    @property
+    def samples(self) -> list[tuple[float, float]]:
+        """All ``(time, value)`` samples, in record order."""
+        return list(zip(self._monitor.times, self._monitor.values))
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean of the signal (see ``Monitor``)."""
+        return self._monitor.time_average(until)
+
+    def integral(self, until: Optional[float] = None) -> float:
+        """Time integral of the signal (see ``Monitor``)."""
+        return self._monitor.integral(until)
+
+    def maximum(self) -> float:
+        """Largest sampled value."""
+        return self._monitor.maximum()
+
+    def __len__(self) -> int:
+        return len(self._monitor)
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.last}>"
+
+
+class Histogram:
+    """Raw-observation histogram with percentile queries."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.observations.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.observations)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations."""
+        self._require_data()
+        return float(np.mean(self.observations))
+
+    def percentile(self, q: float) -> float:
+        """Observation percentile, ``q`` in [0, 100]."""
+        self._require_data()
+        return float(np.percentile(self.observations, q))
+
+    @property
+    def p50(self) -> float:
+        """Median observation."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile observation."""
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile observation."""
+        return self.percentile(99)
+
+    def _require_data(self) -> None:
+        if not self.observations:
+            raise ObservabilityError(
+                f"histogram {self.name!r} has no observations")
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """Get-or-create namespace of counters, gauges and histograms."""
+
+    def __init__(self, clock: TracerClock) -> None:
+        self._clock = clock
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first use."""
+        if name not in self._counters:
+            self._check_free(name, self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name*, created on first use."""
+        if name not in self._gauges:
+            self._check_free(name, self._gauges)
+            self._gauges[name] = Gauge(name, self._clock)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called *name*, created on first use."""
+        if name not in self._histograms:
+            self._check_free(name, self._histograms)
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def _check_free(self, name: str, target: dict) -> None:
+        """Refuse one name registered as two different metric kinds."""
+        for kind, table in (("counter", self._counters),
+                            ("gauge", self._gauges),
+                            ("histogram", self._histograms)):
+            if table is not target and name in table:
+                raise ObservabilityError(
+                    f"metric name {name!r} already registered as a "
+                    f"{kind}")
+
+    def counters(self) -> Iterator[Counter]:
+        """All counters, in creation order."""
+        return iter(self._counters.values())
+
+    def gauges(self) -> Iterator[Gauge]:
+        """All gauges, in creation order."""
+        return iter(self._gauges.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        """All histograms, in creation order."""
+        return iter(self._histograms.values())

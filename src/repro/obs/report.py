@@ -1,0 +1,138 @@
+"""Plain-text utilisation report.
+
+Answers the question the aggregate numbers cannot: *where did the
+time go*?  Per device: how long the SHAVE array was executing (busy),
+how long its USB transfers took, how long it sat idle, and how much
+energy it drew (power-monitor integral).  Per link: occupancy — the
+shared-hub contention the paper calls the "small penalty ... due to
+the data transfers".  Plus every gauge's time-average (queue depths),
+every counter, and every histogram's p50/p95/p99.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.session import ObsSession
+
+#: Span name the NCS device model uses for on-device execution.
+INFERENCE_SPAN = "inference"
+#: Span name the USB topology uses for link-holding transfers.
+TRANSFER_SPAN = "usb_transfer"
+#: Track suffix for the host-side NCAPI call spans of a device.
+HOST_TRACK_SUFFIX = "/host"
+
+
+def device_utilisation(session: ObsSession,
+                       wall_seconds: Optional[float] = None
+                       ) -> dict[str, dict[str, float]]:
+    """Per-device utilisation table as plain data.
+
+    Keys are device track names; each value maps ``inferences``,
+    ``busy_seconds``, ``busy_fraction``, ``io_seconds``,
+    ``transfer_seconds``, ``idle_fraction`` and ``energy_joules``.
+    ``wall_seconds`` defaults to the trace extent.
+    """
+    tracer = session.tracer
+    wall = wall_seconds if wall_seconds else tracer.extent
+    table: dict[str, dict[str, float]] = {}
+    for track in tracer.tracks():
+        spans = [s for s in tracer.by_track(track)
+                 if s.name == INFERENCE_SPAN]
+        if not spans:
+            continue
+        busy = sum(s.duration for s in spans if s.finished)
+        transfer = sum(
+            s.duration for s in tracer.by_name(TRANSFER_SPAN)
+            if s.finished and s.args.get("device") == track)
+        io = tracer.busy_seconds(track + HOST_TRACK_SUFFIX)
+        table[track] = {
+            "inferences": float(len(spans)),
+            "busy_seconds": busy,
+            "busy_fraction": busy / wall if wall > 0 else 0.0,
+            "io_seconds": io,
+            "transfer_seconds": transfer,
+            "idle_fraction": (1.0 - busy / wall) if wall > 0 else 0.0,
+            "energy_joules": session.energy_joules(track),
+        }
+    return table
+
+
+def link_occupancy(session: ObsSession,
+                   wall_seconds: Optional[float] = None
+                   ) -> dict[str, float]:
+    """Per-USB-link busy fraction over the wall-clock window."""
+    tracer = session.tracer
+    wall = wall_seconds if wall_seconds else tracer.extent
+    table: dict[str, float] = {}
+    for track in tracer.tracks():
+        if not track.startswith("usb:"):
+            continue
+        busy = tracer.busy_seconds(track)
+        table[track] = busy / wall if wall > 0 else 0.0
+    return table
+
+
+def utilisation_report(session: ObsSession,
+                       wall_seconds: Optional[float] = None) -> str:
+    """Render the full human-readable utilisation report."""
+    tracer = session.tracer
+    wall = wall_seconds if wall_seconds else tracer.extent
+    lines = [
+        "utilisation report",
+        f"  spans recorded : {len(tracer)}",
+        f"  wall window    : {wall * 1000:.1f} ms",
+    ]
+
+    devices = device_utilisation(session, wall)
+    if devices:
+        lines.append("")
+        lines.append(
+            f"  {'device':<10} {'inf':>5} {'busy ms':>9} {'busy%':>7} "
+            f"{'io ms':>8} {'xfer ms':>8} {'idle%':>7} {'energy J':>9}")
+        for name in sorted(devices):
+            d = devices[name]
+            lines.append(
+                f"  {name:<10} {int(d['inferences']):>5} "
+                f"{d['busy_seconds'] * 1000:>9.1f} "
+                f"{d['busy_fraction']:>7.1%} "
+                f"{d['io_seconds'] * 1000:>8.1f} "
+                f"{d['transfer_seconds'] * 1000:>8.1f} "
+                f"{d['idle_fraction']:>7.1%} "
+                f"{d['energy_joules']:>9.3f}")
+
+    links = link_occupancy(session, wall)
+    if links:
+        lines.append("")
+        lines.append(f"  {'usb link':<14} {'occupancy':>9}")
+        for name in sorted(links):
+            lines.append(f"  {name:<14} {links[name]:>9.1%}")
+
+    gauges = [g for g in session.metrics.gauges() if len(g)]
+    if gauges:
+        lines.append("")
+        lines.append(f"  {'gauge':<28} {'last':>8} {'avg':>8} "
+                     f"{'max':>8}")
+        for g in gauges:
+            lines.append(
+                f"  {g.name:<28} {g.last:>8.2f} "
+                f"{g.time_average():>8.2f} {g.maximum():>8.2f}")
+
+    counters = [c for c in session.metrics.counters() if c.value]
+    if counters:
+        lines.append("")
+        lines.append(f"  {'counter':<28} {'value':>10}")
+        for c in counters:
+            lines.append(f"  {c.name:<28} {c.value:>10.0f}")
+
+    histograms = [h for h in session.metrics.histograms() if h.count]
+    if histograms:
+        lines.append("")
+        lines.append(f"  {'histogram':<24} {'n':>6} {'p50 ms':>9} "
+                     f"{'p95 ms':>9} {'p99 ms':>9}")
+        for h in histograms:
+            lines.append(
+                f"  {h.name:<24} {h.count:>6} {h.p50 * 1000:>9.2f} "
+                f"{h.p95 * 1000:>9.2f} {h.p99 * 1000:>9.2f}")
+
+    return "\n".join(lines)

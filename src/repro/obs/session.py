@@ -1,0 +1,102 @@
+"""The observability session: one tracer + metrics + power probes.
+
+An :class:`ObsSession` is the object a user threads through the stack
+(``NCSw(obs=session)``, ``fig6a_throughput_per_subset(obs=session)``,
+``--trace`` on the CLI).  Attaching it to a simulation
+:class:`~repro.sim.core.Environment` plants it at ``env.obs``, where
+every instrumented layer — the DES kernel's process hooks, the USB
+topology, the NCS device model, the NCAPI handles, the NCSw
+schedulers — picks it up with a single ``is None`` check.  When no
+session is attached (the default), that check is the *entire*
+overhead, so benchmark numbers are unaffected.
+
+The session outlives individual environments: experiment drivers
+create a fresh ``Environment`` per run, and re-attaching shifts the
+tracer's epoch so successive runs concatenate on one timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry, TracerClock
+from repro.obs.tracer import Tracer
+from repro.sim.monitor import Monitor
+
+
+class ObsSession:
+    """Bundle of tracer, metrics registry and per-device power probes."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.tracer = Tracer(enabled=enabled)
+        self.clock = TracerClock(self.tracer.now)
+        self.metrics = MetricsRegistry(self.clock)
+        self._power: dict[str, Monitor] = {}
+        self._proc_started = self.metrics.counter(
+            "sim.processes_started")
+        self._proc_finished = self.metrics.counter(
+            "sim.processes_finished")
+        self._live = self.metrics.gauge("sim.live_processes")
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether the session records anything."""
+        return self.tracer.enabled
+
+    def enable(self) -> None:
+        """Resume recording."""
+        self.tracer.enable()
+
+    def disable(self) -> None:
+        """Pause recording (instrumented layers still see the session
+        if it remains attached; re-attach after toggling to drop even
+        the attribute checks)."""
+        self.tracer.disable()
+
+    def attach(self, env: Any) -> Any:
+        """Bind the session to *env* and plant it at ``env.obs``.
+
+        Returns *env* for chaining.  A disabled session leaves
+        ``env.obs`` as ``None`` so the instrumented code paths stay on
+        their zero-cost branch.
+        """
+        self.tracer.bind(env)
+        env.obs = self if self.enabled else None
+        return env
+
+    # -- power probes -----------------------------------------------------
+    def power_monitor(self, device_id: str) -> Monitor:
+        """Per-device power signal (W), created on first use.
+
+        Backed by a session-lifetime
+        :class:`~repro.sim.monitor.Monitor` on the tracer clock, so
+        ``integral()`` yields energy in Joules across every attached
+        run.
+        """
+        if device_id not in self._power:
+            self._power[device_id] = Monitor(
+                self.clock, name=f"{device_id}.power")
+        return self._power[device_id]
+
+    def power_monitors(self) -> dict[str, Monitor]:
+        """All per-device power monitors, keyed by device id."""
+        return dict(self._power)
+
+    def energy_joules(self, device_id: str,
+                      until: Optional[float] = None) -> float:
+        """Energy integral of one device's power signal."""
+        if device_id not in self._power:
+            return 0.0
+        return self._power[device_id].integral(until)
+
+    # -- DES kernel hooks ---------------------------------------------------
+    def process_started(self, process: Any) -> None:
+        """Called by the kernel when a simulation process spawns."""
+        self._proc_started.inc()
+        self._live.set(self._live.last + 1)
+
+    def process_finished(self, process: Any) -> None:
+        """Called by the kernel when a simulation process terminates."""
+        self._proc_finished.inc()
+        self._live.set(self._live.last - 1)

@@ -166,6 +166,8 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         Initialize(env, self)
+        if env.obs is not None:
+            env.obs.process_started(self)
 
     @property
     def is_alive(self) -> bool:
@@ -229,6 +231,8 @@ class Process(Event):
             # Event already processed: continue immediately with its value.
             event = next_event
         self.env._active_proc = None
+        if not self.is_alive and self.env.obs is not None:
+            self.env.obs.process_finished(self)
 
 
 class Condition(Event):
@@ -285,6 +289,11 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_proc: Optional[Process] = None
+        #: Optional observability session (see repro.obs.ObsSession).
+        #: When None — the default — instrumentation points across the
+        #: models reduce to a single attribute check, keeping the
+        #: no-tracing path zero-cost.  Set via ObsSession.attach(env).
+        self.obs: Optional[Any] = None
 
     @property
     def now(self) -> float:

@@ -37,10 +37,18 @@ class Monitor:
         return self.values[-1] if self.values else 0.0
 
     def time_average(self, until: float | None = None) -> float:
-        """Time-weighted mean of the signal from first sample to *until*."""
+        """Time-weighted mean of the signal from first sample to *until*.
+
+        An *until* strictly before the first sample means no part of
+        the signal is in the window, so the average is 0.0 (matching
+        :meth:`integral`); ``until == first sample time`` keeps the
+        zero-duration fallback of returning the sample value.
+        """
         if not self.values:
             return 0.0
         end = self.env.now if until is None else until
+        if end < self.times[0]:
+            return 0.0
         total = 0.0
         duration = 0.0
         for i, (t, v) in enumerate(zip(self.times, self.values)):
@@ -81,16 +89,44 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Append-only log of :class:`TraceEvent` records."""
+    """Append-only log of :class:`TraceEvent` records.
+
+    Recording is toggled through :meth:`enable` / :meth:`disable` —
+    the same API shape as :class:`repro.obs.tracer.Tracer`.  Assigning
+    the :attr:`enabled` attribute directly still works but is
+    deprecated.
+    """
 
     def __init__(self, env: Environment) -> None:
         self.env = env
         self.events: list[TraceEvent] = []
-        self.enabled = True
+        self._enabled = True
+
+    @property
+    def enabled(self) -> bool:
+        """Whether :meth:`emit` records anything."""
+        return self._enabled
+
+    @enabled.setter
+    def enabled(self, value: bool) -> None:
+        import warnings
+
+        warnings.warn(
+            "setting TraceRecorder.enabled directly is deprecated; "
+            "use enable()/disable()", DeprecationWarning, stacklevel=2)
+        self._enabled = bool(value)
+
+    def enable(self) -> None:
+        """Resume recording trace events."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; subsequent :meth:`emit` calls are no-ops."""
+        self._enabled = False
 
     def emit(self, actor: str, action: str, **detail: Any) -> None:
         """Append a trace record stamped with the current simulated time."""
-        if self.enabled:
+        if self._enabled:
             self.events.append(
                 TraceEvent(self.env.now, actor, action, detail))
 

@@ -84,6 +84,42 @@ def test_report_markdown_option(tmp_path, capsys):
     assert "| metric | paper | measured | ratio |" in text
 
 
+def test_trace_option_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "fig6b.trace.json"
+    assert main(["fig6b", "--images", "16",
+                 "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "utilisation report" in out
+    assert "wrote trace" in out and "perfetto" in out
+    doc = json.loads(trace.read_text())
+    events = doc["traceEvents"]
+    tracks = {e["args"]["name"] for e in events
+              if e.get("ph") == "M" and e["name"] == "thread_name"}
+    assert any(t.startswith("ncs") for t in tracks)
+    assert "inference" in {e["name"] for e in events
+                           if e.get("ph") == "X"}
+
+
+def test_profile_run_command(capsys):
+    assert main(["profile-run", "--target", "vpu2", "--images", "16",
+                 "--batch", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "img/s" in out
+    assert "utilisation report" in out
+    assert "ncs0" in out and "ncs1" in out
+
+
+def test_profile_run_trace_file(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "run.json"
+    assert main(["profile-run", "--target", "cpu", "--images", "8",
+                 "--batch", "4", "--trace", str(trace)]) == 0
+    assert json.loads(trace.read_text())["traceEvents"]
+
+
 def test_audit_command(capsys):
     assert main(["audit", "--images", "48", "--scale", "smoke"]) == 0
     out = capsys.readouterr().out

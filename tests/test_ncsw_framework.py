@@ -151,6 +151,24 @@ def test_run_group_splits_items(micro_setup, micro_graph):
         fw.run_group("synth", [])
 
 
+def test_run_group_empty_split_marked(micro_setup, micro_graph):
+    # Two items over three targets: round-robin starves the last one.
+    fw = _fw(micro_setup, micro_graph, functional=False)
+    results = fw.run_group("synth", ["cpu", "gpu", "vpu"],
+                           batch_size=4, limit=2)
+    assert results["cpu"].images == 1
+    assert results["gpu"].images == 1
+    empty = results["vpu"]
+    assert empty.empty and empty.images == 0
+    assert "empty" in empty.summary()
+    with pytest.raises(FrameworkError):
+        empty.throughput()
+    with pytest.raises(FrameworkError):
+        empty.seconds_per_image()
+    # Populated results are not flagged.
+    assert not results["cpu"].empty
+
+
 def test_gpu_faster_than_cpu_at_batch8(micro_setup, micro_graph):
     fw = _fw(micro_setup, micro_graph, functional=False)
     t_cpu = fw.run("synth", "cpu", batch_size=8).throughput()

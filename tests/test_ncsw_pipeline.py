@@ -103,6 +103,18 @@ def test_result_summary_and_guards(micro_graph):
         _ = zero_time.sustained_fps
 
 
+def test_summary_degrades_when_all_frames_dropped():
+    # A run where the live queue skipped every frame must still
+    # summarise instead of raising on the latency percentiles.
+    all_dropped = PipelineResult(frames_offered=50, frames_processed=0,
+                                 frames_dropped=50, wall_seconds=1.0)
+    s = all_dropped.summary()
+    assert "0/50 frames" in s
+    assert "100.0% dropped" in s
+    assert "no completed frames" in s
+    assert "p95" not in s
+
+
 def test_run_validation(micro_graph):
     env = Environment()
     topo = paper_testbed_topology(env, num_devices=1)

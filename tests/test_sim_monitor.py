@@ -91,6 +91,26 @@ def test_monitor_maximum():
     assert m.maximum() == 9
 
 
+def test_monitor_until_before_first_sample():
+    env = Environment()
+    m = Monitor(env)
+
+    def proc():
+        yield env.timeout(5)
+        m.record(10)          # first sample only at t=5
+        yield env.timeout(5)
+
+    env.process(proc())
+    env.run()
+    # A window that ends strictly before any sample holds no signal.
+    assert m.time_average(until=3) == 0.0
+    assert m.integral(until=3) == 0.0
+    # At exactly the first sample time the zero-duration fallback
+    # still reports the sample value (consistent with single-sample).
+    assert m.time_average(until=5) == 10
+    assert m.integral(until=5) == 0.0
+
+
 def test_monitor_single_sample_average():
     env = Environment()
     m = Monitor(env)
@@ -121,9 +141,27 @@ def test_trace_recorder_emit_and_query():
 def test_trace_recorder_disable():
     env = Environment()
     tr = TraceRecorder(env)
-    tr.enabled = False
+    tr.disable()
+    assert not tr.enabled
     tr.emit("x", "y")
     assert len(tr) == 0
+    tr.enable()
+    tr.emit("x", "y")
+    assert len(tr) == 1
+
+
+def test_trace_recorder_enabled_attribute_deprecated():
+    env = Environment()
+    tr = TraceRecorder(env)
+    # Direct attribute pokes still work but warn.
+    with pytest.deprecated_call():
+        tr.enabled = False
+    tr.emit("x", "y")
+    assert len(tr) == 0
+    with pytest.deprecated_call():
+        tr.enabled = True
+    tr.emit("x", "y")
+    assert len(tr) == 1
 
 
 def test_trace_events_are_frozen():
