@@ -73,6 +73,24 @@ class NoData(NCAPIError):
     status = "MVNC_NO_DATA"
 
 
+class DeviceLost(NCAPIError):
+    """The device died mid-run (hot-unplug, firmware crash)."""
+
+    status = "MVNC_DEVICE_LOST"
+
+
+class ThermalShutdown(DeviceLost):
+    """The stick's firmware killed itself on over-temperature."""
+
+    status = "MVNC_THERMAL_SHUTDOWN"
+
+
+class DeviceTimeout(NCAPIError):
+    """A per-call NCAPI deadline expired (hung firmware suspected)."""
+
+    status = "MVNC_TIMEOUT"
+
+
 class USBError(ReproError):
     """USB topology / transfer model errors."""
 

@@ -9,6 +9,7 @@
     python -m repro report --scale smoke     # everything
     python -m repro profile --model googlenet-mini
     python -m repro profile-run --target vpu8 --trace /tmp/run.json
+    python -m repro chaos-run --devices 8 --kill-at 0.5 --kind death
 
 ``--trace out.json`` on any experiment records a span timeline into
 a Chrome/Perfetto ``trace_event`` file (open at
@@ -95,6 +96,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  report    all of the above in one run")
     print("  profile   per-layer VPU timing report for a zoo model")
     print("  profile-run  one instrumented run + utilisation report")
+    print("  chaos-run    seeded fault-injection sweep (kill stick k)")
     return 0
 
 
@@ -228,6 +230,95 @@ def _cmd_profile_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    """Deterministic chaos sweep: kill stick k at t, for each k.
+
+    Runs a healthy baseline first, then one fault-tolerant run per
+    victim stick with a seeded :class:`FaultPlan` that fails it at
+    ``--kill-at`` of the baseline wall time.  A run passes when every
+    non-abandoned image still comes back classified; the command
+    exits non-zero if any run loses work it should have saved.
+    """
+    from repro.harness.figures import paper_timing_graph
+    from repro.ncsw import FaultPlan, IntelVPU, NCSw, SyntheticSource
+    from repro.ncsw.faults import BUSY
+
+    if not 0.0 <= args.kill_at <= 1.0:
+        print(f"--kill-at must be in [0, 1], got {args.kill_at}")
+        return 2
+    graph = paper_timing_graph()
+
+    def make_run(plan=None, timeout=None, obs=None):
+        fw = NCSw(obs=obs)
+        fw.add_source("synthetic", SyntheticSource(args.images))
+        fw.add_target("vpu", IntelVPU(
+            graph=graph, num_devices=args.devices, functional=False,
+            fault_plan=plan, call_timeout=timeout))
+        return fw.run("synthetic", "vpu", batch_size=args.batch)
+
+    base = make_run()
+    t_start = min(r.t_submit for r in base.records)
+    kill_time = t_start + args.kill_at * base.wall_seconds
+    max_latency = max(r.latency for r in base.records)
+    # A hung call can only be detected by deadline; several healthy
+    # inference times of slack keeps false positives at zero.
+    timeout = (args.timeout if args.timeout is not None
+               else max(4.0 * max_latency, 0.05))
+    busy_duration = 0.1 * base.wall_seconds
+    baseline_tput = base.throughput()
+    print(f"baseline: {base.summary()}")
+    print(f"chaos: kind={args.kind} kill_at={kill_time * 1000:.2f} ms "
+          f"(t0+{args.kill_at:.0%} of wall) call_timeout={timeout:.3f} s "
+          f"seed={args.seed}")
+
+    if args.random_plans > 0:
+        # Seeded random schedules: plan i draws its victim and kill
+        # time from seed+i.  Same seed -> same sweep, byte for byte.
+        plans = [(f"seed {args.seed + i}",
+                  FaultPlan.seeded(
+                      args.seed + i, args.devices,
+                      horizon=base.wall_seconds, start=t_start,
+                      kinds=(args.kind,), busy_duration=busy_duration))
+                 for i in range(args.random_plans)]
+    else:
+        victims = ([args.kill_stick] if args.kill_stick is not None
+                   else list(range(args.devices)))
+        plans = [(f"kill vpu{victim}",
+                  FaultPlan.kill(
+                      victim, kill_time, kind=args.kind,
+                      duration=(busy_duration if args.kind == BUSY
+                                else 0.0)))
+                 for victim in victims]
+    obs = _obs_from_args(args)
+    failed = False
+    for label, plan in plans:
+        res = make_run(plan=plan, timeout=timeout, obs=obs)
+        ok = res.images == args.images - res.abandoned
+        failed = failed or not ok
+        # Post-fault throughput over the survivors only.
+        fault_time = min((f.at for f in plan.faults),
+                         default=kill_time)
+        after = [r for r in res.records if r.t_complete > fault_time]
+        tput = ""
+        if after:
+            window = max(r.t_complete for r in after) - fault_time
+            if window > 0:
+                tput = (f" post-fault {len(after) / window:.1f} img/s "
+                        f"({len(after) / window / baseline_tput:.0%} "
+                        "of baseline)")
+        print(f"  {label}: {'ok' if ok else 'LOST WORK'} | "
+              f"{res.images}/{args.images} classified, "
+              f"{res.reassigned} reassigned, {res.abandoned} "
+              f"abandoned, {len(res.failures)} failure event(s)"
+              + tput)
+    _finish_trace(args, obs)
+    if failed:
+        print("chaos-run: FAILED (work lost without being abandoned)")
+        return 1
+    print("chaos-run: all victims survived with full accounting")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -275,6 +366,35 @@ def build_parser() -> argparse.ArgumentParser:
     profile_run.add_argument("--batch", type=int, default=8)
     profile_run.add_argument("--trace", default=None, metavar="PATH",
                              help="also write the Perfetto trace here")
+
+    chaos = sub.add_parser(
+        "chaos-run",
+        help="seeded fault-injection sweep over the multi-VPU rig")
+    chaos.add_argument("--devices", type=int, default=8,
+                       help="NCS sticks to drive (1-8)")
+    chaos.add_argument("--images", type=int, default=160)
+    chaos.add_argument("--batch", type=int, default=8)
+    chaos.add_argument("--kill-stick", type=int, default=None,
+                       metavar="K",
+                       help="fail only stick K (default: sweep all)")
+    chaos.add_argument("--kill-at", type=float, default=0.5,
+                       metavar="FRAC",
+                       help="fault time as a fraction of the healthy "
+                            "run's wall time (default 0.5)")
+    chaos.add_argument("--kind", default="death",
+                       choices=["death", "hang", "thermal", "busy"])
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed for --random-plans schedules")
+    chaos.add_argument("--random-plans", type=int, default=0,
+                       metavar="N",
+                       help="run N seeded random schedules instead of "
+                            "the per-stick sweep")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-call NCAPI deadline in seconds "
+                            "(default: 4x the healthy max latency)")
+    chaos.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a Perfetto trace of the chaos "
+                            "runs here")
     return parser
 
 
@@ -295,6 +415,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "profile-run":
         return _cmd_profile_run(args)
+    if args.command == "chaos-run":
+        return _cmd_chaos_run(args)
     raise AssertionError("unreachable")
 
 

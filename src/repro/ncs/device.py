@@ -27,7 +27,14 @@ from typing import Any, Generator, Optional
 
 import numpy as np
 
-from repro.errors import DeviceBusy, DeviceClosed, NCAPIError
+from repro.errors import (
+    DeviceBusy,
+    DeviceClosed,
+    DeviceLost,
+    NCAPIError,
+    ThermalShutdown,
+    USBError,
+)
 from repro.numerics.quant import PrecisionPolicy
 from repro.sim.core import Environment, Event, Interrupt
 from repro.sim.monitor import TraceRecorder
@@ -80,6 +87,20 @@ class NCSDevice:
                             name=f"{device_id}/chip")
         self.booted = False
         self.closed = False
+        #: Fault state: a dead device rejects every operation with
+        #: :class:`DeviceLost` (or :class:`ThermalShutdown`).
+        self.dead = False
+        self.failure_kind: Optional[str] = None
+        self.failure_time: Optional[float] = None
+        #: Event that fires when the device dies; created lazily by
+        #: :meth:`enable_fault_hooks` so the default (no fault
+        #: injection) path stays byte-identical.
+        self._lost: Optional[Event] = None
+        #: Firmware-busy window end (``submit`` raises DeviceBusy
+        #: before it) and a counter of rejected submissions.
+        self._busy_until = 0.0
+        self.busy_rejections = 0
+        self._hung = False
         self._graph: Optional[CompiledGraph] = None
         self._graph_handle: Optional[int] = None
         self._in_fifo = Store(env, capacity=FIFO_DEPTH)
@@ -162,6 +183,120 @@ class NCSDevice:
     def _boot_inner(self) -> Event:
         return self.env.process(self._boot())
 
+    # -- fault injection & death ---------------------------------------
+    def enable_fault_hooks(self) -> None:
+        """Arm the lost-device race on the inference path.
+
+        Until this is called (by a :class:`~repro.ncsw.faults.
+        FaultPlan` or a fault-tolerant scheduler) ``submit`` and
+        ``collect`` wait on their events directly — no extra
+        simulation events, so un-faulted runs are byte-identical.
+        """
+        if self._lost is None:
+            self._lost = Event(self.env)
+
+    def mark_dead(self, kind: str, detail: str = "") -> None:
+        """Declare the device dead (idempotent).
+
+        Fires the lost event so every in-flight ``submit``/``collect``
+        fails with :class:`DeviceLost`, kills the RISC runtime
+        scheduler, and records the failure for the health report.
+        """
+        if self.dead:
+            return
+        self.dead = True
+        self.failure_kind = kind
+        self.failure_time = self.env.now
+        if self._lost is None:
+            self._lost = Event(self.env)
+        if not self._lost.triggered:
+            self._lost.succeed(kind)
+        sched = self._scheduler
+        if (sched is not None and sched.is_alive
+                and sched is not self.env.active_process):
+            sched.interrupt("device-dead")
+        self._scheduler = None
+        self._emit("device_failed", kind=kind, detail=detail)
+        obs = self.env.obs
+        if obs is not None:
+            obs.tracer.instant("device_failed", track=self.device_id,
+                               kind=kind, detail=detail)
+            obs.metrics.counter("ncs.devices_failed").inc()
+            obs.power_monitor(self.device_id).record(0.0)
+
+    def inject_death(self, detail: str = "hot-unplug") -> None:
+        """Kill the stick outright (hot-unplug / hardware death)."""
+        if self.dead:
+            return
+        try:
+            self.topology.detach_device(self.device_id)
+        except USBError:
+            pass  # already detached
+        self.mark_dead("death", detail)
+
+    def inject_hang(self, detail: str = "firmware-hang") -> None:
+        """Hang the firmware: the device goes silent but stays on the
+        bus.  Tensors still transfer and queue; results never come —
+        only a per-call timeout (``get_result(timeout=...)``) can
+        detect it."""
+        if self.dead or self._hung:
+            return
+        self._hung = True
+        sched = self._scheduler
+        if (sched is not None and sched.is_alive
+                and sched is not self.env.active_process):
+            sched.interrupt("firmware-hang")
+        self._scheduler = None
+        self._emit("device_hung", detail=detail)
+        obs = self.env.obs
+        if obs is not None:
+            obs.tracer.instant("device_hung", track=self.device_id,
+                               detail=detail)
+
+    def inject_thermal_runaway(self,
+                               detail: str = "thermal-runaway") -> None:
+        """Push the stick over its thermal cut-off.
+
+        Forces the junction temperature past
+        :attr:`~repro.ncs.thermal.ThermalConfig.shutdown_temp_c`; the
+        model latches shutdown and the device dies through the same
+        path organic over-temperature would take."""
+        if self.dead:
+            return
+        if self.thermal is None:
+            self.thermal = ThermalModel()
+        cfg = self.thermal.config
+        self.thermal.force_temperature(cfg.shutdown_temp_c + 5.0,
+                                       at=self.env.now)
+        if self.thermal.shut_down:
+            self.mark_dead("thermal", detail)
+
+    def inject_busy(self, duration: float) -> None:
+        """Reject submissions with :class:`DeviceBusy` for *duration*
+        seconds (transient firmware congestion)."""
+        if duration < 0:
+            raise NCAPIError("busy duration must be >= 0")
+        self._busy_until = max(self._busy_until,
+                               self.env.now + duration)
+
+    def _dead_error(self) -> DeviceLost:
+        cls = (ThermalShutdown if self.failure_kind == "thermal"
+               else DeviceLost)
+        return cls(f"{self.device_id} is dead "
+                   f"({self.failure_kind or 'unknown'})")
+
+    def _await_or_lost(self, event: Event
+                       ) -> Generator[Event, None, Any]:
+        """Wait on *event*, aborting with DeviceLost if the device
+        dies first.  With fault hooks unarmed this is a plain wait."""
+        if self._lost is None:
+            value = yield event
+            return value
+        result = yield self.env.any_of([event, self._lost])
+        if self._lost.triggered:
+            raise self._dead_error()
+        return result[event]
+
     # -- graph management --------------------------------------------------
     def allocate_graph(self, graph: CompiledGraph) -> Event:
         """Transfer a compiled graph and make it resident (process)."""
@@ -211,6 +346,11 @@ class NCSDevice:
     def _submit(self, tensor: Optional[np.ndarray],
                 user: Any) -> Generator[Event, None, int]:
         self._check_open()
+        if self.env.now < self._busy_until:
+            self.busy_rejections += 1
+            raise DeviceBusy(
+                f"{self.device_id}: firmware busy until "
+                f"{self._busy_until:.6f}s")
         graph = self._require_graph()
         nbytes = graph.input_tensor_bytes
         if tensor is not None:
@@ -222,8 +362,9 @@ class NCSDevice:
                     f"input {expected}")
         item = _Inference(seq=next(self._seq), tensor=tensor, user=user,
                           submitted_at=self.env.now)
-        yield self.topology.transfer(self.device_id, nbytes)
-        yield self._in_fifo.put(item)
+        yield from self._await_or_lost(
+            self.topology.transfer(self.device_id, nbytes))
+        yield from self._await_or_lost(self._in_fifo.put(item))
         self._emit("tensor_loaded", seq=item.seq, nbytes=nbytes)
         return item.seq
 
@@ -255,6 +396,11 @@ class NCSDevice:
                 # Idle interval since the last activity, then check
                 # whether the firmware is holding the clock down.
                 self.thermal.update(self.env.now, self.idle_power_w)
+                if self.thermal.shut_down:
+                    if obs is not None:
+                        obs.tracer.end(span)
+                    self.mark_dead("thermal", "over-temperature")
+                    return
             per_layer = yield self.chip.run_inference(graph)
             if self.thermal is not None:
                 scale = self.thermal.frequency_scale()
@@ -264,6 +410,13 @@ class NCSDevice:
                         1.0 / scale - 1.0)
                     yield self.env.timeout(extra)
                 self.thermal.update(self.env.now, self.active_power_w)
+                if self.thermal.shut_down:
+                    # The stick cooked itself mid-inference: the
+                    # result is lost, the firmware goes dark.
+                    if obs is not None:
+                        obs.tracer.end(span)
+                    self.mark_dead("thermal", "over-temperature")
+                    return
             if self.latency_jitter > 0:
                 factor = max(0.5, 1.0 + self._jitter_rng.normal(
                     0.0, self.latency_jitter))
@@ -309,9 +462,11 @@ class NCSDevice:
     def _collect(self) -> Generator[Event, None, tuple]:
         self._check_open()
         graph = self._require_graph()
-        item: _Inference = yield self._out_fifo.get()
-        yield self.topology.transfer(self.device_id,
-                                     graph.output_tensor_bytes)
+        item: _Inference = yield from self._await_or_lost(
+            self._out_fifo.get())
+        yield from self._await_or_lost(
+            self.topology.transfer(self.device_id,
+                                   graph.output_tensor_bytes))
         self._emit("result_read", seq=item.seq)
         return item.result, item.user
 
@@ -323,6 +478,8 @@ class NCSDevice:
         return self._graph
 
     def _check_open(self, require_boot: bool = True) -> None:
+        if self.dead:
+            raise self._dead_error()
         if self.closed:
             raise DeviceClosed(f"{self.device_id} is closed")
         if require_boot and not self.booted:

@@ -19,7 +19,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from repro.errors import DeviceNotFound, NCAPIError
+from repro.errors import DeviceNotFound, DeviceTimeout, NCAPIError
 from repro.ncs.device import NCSDevice
 from repro.ncs.enumeration import enumerate_devices
 from repro.ncs.firmware import DEFAULT_FIRMWARE, FirmwareImage
@@ -43,25 +43,88 @@ class GraphHandle:
         """Name of the allocated graph."""
         return self._graph.name
 
+    @property
+    def device(self) -> NCSDevice:
+        """The underlying stick (health checks, fault injection)."""
+        return self._device
+
+    @property
+    def device_id(self) -> str:
+        """Bus identifier of the stick this graph lives on."""
+        return self._device.device_id
+
+    @property
+    def device_alive(self) -> bool:
+        """False once the stick has died (unplug, hang-kill, thermal)."""
+        return not self._device.dead
+
+    def fail_device(self, kind: str, detail: str = "") -> None:
+        """Declare the stick dead from the host side.
+
+        A fault-tolerant scheduler calls this when a per-call timeout
+        fires: the firmware is presumed hung and the device is written
+        off exactly as if it had been unplugged."""
+        self._device.mark_dead(kind, detail)
+
     def load_tensor(self, tensor: Optional[np.ndarray],
-                    user: Any = None) -> Event:
+                    user: Any = None,
+                    timeout: Optional[float] = None) -> Event:
         """Non-blocking input submission (``mvncLoadTensor``).
 
         The returned event completes once the tensor is on the device
         and queued for execution — *not* when inference finishes.
+        With *timeout* (seconds) the call fails with
+        :class:`DeviceTimeout` if it has not completed by then; note
+        FIFO back-pressure on a healthy device also counts against
+        the deadline, so pick timeouts well above one inference.
         """
         self._check()
-        return self._spanned("load_tensor",
-                             self._device.submit(tensor, user))
+        event = self._device.submit(tensor, user)
+        if timeout is not None:
+            event = self._deadline("load_tensor", event, timeout)
+        return self._spanned("load_tensor", event)
 
-    def get_result(self) -> Event:
+    def get_result(self, timeout: Optional[float] = None) -> Event:
         """Blocking result retrieval (``mvncGetResult``).
 
         Event value is ``(result_fp16_array, user_object)`` for the
-        oldest completed inference.
+        oldest completed inference.  With *timeout* the wait fails
+        with :class:`DeviceTimeout` instead of blocking forever — the
+        only way to detect a hung firmware.
         """
         self._check()
-        return self._spanned("get_result", self._device.collect())
+        event = self._device.collect()
+        if timeout is not None:
+            event = self._deadline("get_result", event, timeout)
+        return self._spanned("get_result", event)
+
+    def _deadline(self, name: str, event: Event,
+                  timeout: float) -> Event:
+        """Race *event* against a timeout (process event)."""
+        if timeout <= 0:
+            raise NCAPIError(
+                f"timeout must be positive, got {timeout}")
+        env = self._device.env
+
+        def _race():
+            clock = env.timeout(timeout)
+            result = yield env.any_of([event, clock])
+            if event.triggered:
+                return result[event]
+            # Deadline expired: the call is abandoned.  If the pending
+            # device-side process later fails (e.g. the stick is then
+            # written off and every in-flight call aborts), nobody is
+            # listening any more — defuse it so the kernel does not
+            # surface an unhandled error.
+            if event.callbacks is not None:
+                def _defuse(ev: Event) -> None:
+                    ev._defused = True
+                event.callbacks.append(_defuse)
+            raise DeviceTimeout(
+                f"{self._device.device_id}: {name} exceeded "
+                f"{timeout}s deadline")
+
+        return env.process(_race())
 
     def _spanned(self, name: str, event: Event) -> Event:
         """Wrap an API call event in a host-side tracer span.
@@ -187,3 +250,9 @@ class NCAPI:
     def devices(self) -> list[NCSDevice]:
         """Raw device objects (for tests and instrumentation)."""
         return list(self._devices)
+
+    def live_devices(self) -> list[NCSDevice]:
+        """Devices still healthy (not dead / hot-unplugged)."""
+        from repro.ncs.enumeration import live_devices
+
+        return live_devices(self._devices)

@@ -37,6 +37,11 @@ class ThermalConfig:
     recover_temp_c: float = 62.0
     #: Media-clock scale while throttled.
     throttle_scale: float = 0.6
+    #: Hard over-temperature cut-off: past this the firmware kills the
+    #: stick outright (latched — a power cycle is needed).  The default
+    #: sits above the 2.5 W steady state (75 C), so it is unreachable
+    #: without fault injection or a pathological config.
+    shutdown_temp_c: float = 90.0
 
     def __post_init__(self) -> None:
         if self.resistance_c_per_w <= 0 or self.time_constant_s <= 0:
@@ -48,6 +53,10 @@ class ThermalConfig:
             raise SimulationError(
                 "recover temperature must sit below the throttle "
                 "threshold (hysteresis)")
+        if self.shutdown_temp_c <= self.throttle_temp_c:
+            raise SimulationError(
+                "shutdown temperature must sit above the throttle "
+                "threshold")
 
 
 class ThermalModel:
@@ -58,6 +67,7 @@ class ThermalModel:
         self._temp = self.config.ambient_c
         self._last_update = 0.0
         self._throttled = False
+        self._shut_down = False
         self.throttle_events = 0
 
     @property
@@ -69,6 +79,28 @@ class ThermalModel:
     def throttled(self) -> bool:
         """Whether the firmware is currently holding the clock down."""
         return self._throttled
+
+    @property
+    def shut_down(self) -> bool:
+        """Whether the over-temperature cut-off has tripped (latched)."""
+        return self._shut_down
+
+    def force_temperature(self, temp_c: float,
+                          at: float | None = None) -> None:
+        """Override the junction temperature (fault injection hook).
+
+        Sets the state directly — e.g. a blocked vent or runaway load
+        — and re-evaluates the throttle/shutdown thresholds at once.
+        Passing ``at`` also advances the model clock so the forced
+        temperature does not immediately decay through a stale ``dt``.
+        """
+        self._temp = float(temp_c)
+        if at is not None:
+            if at < self._last_update:
+                raise SimulationError(
+                    f"time went backwards: {at} < {self._last_update}")
+            self._last_update = at
+        self._evaluate_thresholds()
 
     def update(self, now: float, power_w: float) -> None:
         """Advance the thermal state to time *now* at *power_w* draw.
@@ -87,7 +119,13 @@ class ThermalModel:
             t_inf = cfg.ambient_c + power_w * cfg.resistance_c_per_w
             decay = math.exp(-dt / cfg.time_constant_s)
             self._temp = t_inf + (self._temp - t_inf) * decay
-        # Hysteretic throttle state.
+        self._evaluate_thresholds()
+
+    def _evaluate_thresholds(self) -> None:
+        """Latch shutdown and advance the hysteretic throttle state."""
+        cfg = self.config
+        if self._temp >= cfg.shutdown_temp_c:
+            self._shut_down = True
         if self._throttled:
             if self._temp <= cfg.recover_temp_c:
                 self._throttled = False

@@ -150,6 +150,18 @@ class USBTopology:
         chain = self._hub_chains[hub]
         self._attachments[device_id] = _Attachment(device_id, chain)
 
+    def detach_device(self, device_id: str) -> None:
+        """Hot-unplug *device_id*: drop its attachment.
+
+        Subsequent transfers to the device raise :class:`USBError`
+        (the xHCI stack's cable-pulled behaviour).  The port is not
+        reclaimed — a yanked stick leaves its slot physically
+        occupied for the rest of the run.
+        """
+        if device_id not in self._attachments:
+            raise USBError(f"device {device_id!r} not attached")
+        del self._attachments[device_id]
+
     @property
     def devices(self) -> list[str]:
         """Attached device ids, in attachment order."""

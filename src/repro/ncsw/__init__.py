@@ -16,7 +16,9 @@ This package reproduces that design on the simulation substrate:
   round-robin assignment and double-buffered load/get;
 * :mod:`framework` — the ``NCSw`` orchestrator wiring sources to
   targets (including device groups) and running the simulation;
-* :mod:`results` — per-inference records and run-level aggregation.
+* :mod:`results` — per-inference records and run-level aggregation;
+* :mod:`faults` — seeded device-failure schedules (``FaultPlan``) and
+  the degraded-mode accounting types for fault-tolerant runs.
 """
 
 from repro.ncsw.sources import (
@@ -32,6 +34,12 @@ from repro.ncsw.scheduler import MultiVPUScheduler
 from repro.ncsw.framework import NCSw
 from repro.ncsw.pipeline import StreamingPipeline, PipelineResult
 from repro.ncsw.results import InferenceRecord, RunResult
+from repro.ncsw.faults import (
+    DeviceFault,
+    FailureEvent,
+    FaultPlan,
+    FaultStats,
+)
 
 __all__ = [
     "SourceImage",
@@ -50,4 +58,8 @@ __all__ = [
     "PipelineResult",
     "InferenceRecord",
     "RunResult",
+    "DeviceFault",
+    "FailureEvent",
+    "FaultPlan",
+    "FaultStats",
 ]

@@ -1,0 +1,201 @@
+"""Seeded device-fault injection for the NCSw stack.
+
+The paper's scaling runs assume every stick stays healthy for the
+whole campaign; at fleet scale device death is the common case.  A
+:class:`FaultPlan` is a deterministic schedule of device-level
+failures injected on the simulated clock:
+
+* ``death`` — hot-unplug / hardware death: the stick drops off the
+  USB bus and every in-flight call fails with ``DeviceLost``;
+* ``hang`` — firmware hang: the stick goes silent (``get_result``
+  never returns) and only a per-call timeout can detect it;
+* ``thermal`` — over-temperature shutdown through the
+  :mod:`repro.ncs.thermal` model (latched, like the real firmware);
+* ``busy`` — a transient window in which submissions are rejected
+  with ``DeviceBusy`` (retried with backoff by the scheduler).
+
+Plans are built explicitly (:meth:`FaultPlan.kill`) or drawn from a
+seed (:meth:`FaultPlan.seeded`); the same seed always produces the
+same schedule, so every chaos run is reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import FrameworkError
+from repro.sim.core import Environment, Event
+
+if TYPE_CHECKING:
+    from repro.ncs.device import NCSDevice
+
+#: Fault kinds a plan may schedule.
+DEATH = "death"
+HANG = "hang"
+THERMAL = "thermal"
+BUSY = "busy"
+
+KINDS = (DEATH, HANG, THERMAL, BUSY)
+
+
+def _seeded_rng(seed: int, salt: str = "") -> np.random.Generator:
+    """Stable RNG from a seed (sha256, not Python's salted hash)."""
+    digest = hashlib.sha256(
+        f"fault-plan:{seed}:{salt}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+@dataclass(frozen=True)
+class DeviceFault:
+    """One scheduled failure of one device."""
+
+    device_index: int
+    at: float
+    kind: str = DEATH
+    #: Busy-window length; only meaningful for ``kind == "busy"``.
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FrameworkError(
+                f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.device_index < 0:
+            raise FrameworkError("device_index must be >= 0")
+        if self.at < 0:
+            raise FrameworkError("fault time must be >= 0")
+        if self.duration < 0:
+            raise FrameworkError("busy duration must be >= 0")
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One device failure as observed by the scheduler."""
+
+    device: str  #: bus id of the failed stick (e.g. ``ncs3``)
+    worker: str  #: scheduler worker name (e.g. ``vpu3``)
+    time: float  #: simulated time the failure was declared
+    kind: str  #: ``death`` / ``hang`` / ``thermal`` / ``busy``
+    detail: str = ""
+    requeued: int = 0  #: work items drained back for reassignment
+
+
+@dataclass
+class FaultStats:
+    """Degraded-mode accounting accumulated over a run."""
+
+    events: list[FailureEvent] = field(default_factory=list)
+    reassigned: int = 0
+    abandoned: int = 0
+
+    @property
+    def dead_devices(self) -> tuple[str, ...]:
+        """Unique failed-device ids, in failure order."""
+        seen: dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.device, None)
+        return tuple(seen)
+
+    def merge(self, other: "FaultStats") -> None:
+        """Fold another batch's accounting into this one."""
+        self.events.extend(other.events)
+        self.reassigned += other.reassigned
+        self.abandoned += other.abandoned
+
+
+class FaultPlan:
+    """A deterministic schedule of device faults.
+
+    Arm the plan on a set of devices with :meth:`arm`; each fault
+    fires at its simulated time through an injector process.  Faults
+    aimed past the end of the run simply never fire.
+    """
+
+    def __init__(self, faults: Iterable[DeviceFault] = ()) -> None:
+        self.faults = sorted(faults,
+                             key=lambda f: (f.at, f.device_index))
+        #: Injections actually performed: (kind, device_id, time).
+        self.injected: list[tuple[str, str, float]] = []
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # -- builders -------------------------------------------------------
+    @classmethod
+    def kill(cls, device_index: int, at: float,
+             kind: str = DEATH, duration: float = 0.0) -> "FaultPlan":
+        """Single-fault plan: fail one stick at one time."""
+        return cls([DeviceFault(device_index=device_index, at=at,
+                                kind=kind, duration=duration)])
+
+    @classmethod
+    def seeded(cls, seed: int, num_devices: int, horizon: float,
+               n_faults: int = 1,
+               kinds: Sequence[str] = (DEATH,),
+               start: float = 0.0,
+               busy_duration: float = 0.0) -> "FaultPlan":
+        """Draw a random plan deterministically from *seed*.
+
+        Picks *n_faults* distinct devices, each failing at a uniform
+        time in ``[start, start + horizon)`` with a kind drawn from
+        *kinds*.  Same seed → same plan, always.
+        """
+        if num_devices < 1:
+            raise FrameworkError("need at least one device")
+        if n_faults < 0 or n_faults > num_devices:
+            raise FrameworkError(
+                f"n_faults must be in [0, {num_devices}]")
+        if horizon <= 0:
+            raise FrameworkError("horizon must be positive")
+        for kind in kinds:
+            if kind not in KINDS:
+                raise FrameworkError(f"unknown fault kind {kind!r}")
+        rng = _seeded_rng(seed)
+        victims = rng.choice(num_devices, size=n_faults, replace=False)
+        faults = []
+        for index in victims:
+            at = start + float(rng.random()) * horizon
+            kind = kinds[int(rng.integers(len(kinds)))]
+            faults.append(DeviceFault(
+                device_index=int(index), at=at, kind=kind,
+                duration=busy_duration if kind == BUSY else 0.0))
+        return cls(faults)
+
+    # -- arming ---------------------------------------------------------
+    def arm(self, env: Environment,
+            devices: Sequence["NCSDevice"]) -> list[Event]:
+        """Schedule every fault against *devices* on *env*'s clock.
+
+        Also arms the lost-device hooks on every device so in-flight
+        calls can be aborted the instant a stick dies.  Returns the
+        injector process events (mostly for tests).
+        """
+        for fault in self.faults:
+            if fault.device_index >= len(devices):
+                raise FrameworkError(
+                    f"fault targets device {fault.device_index} but "
+                    f"only {len(devices)} devices are armed")
+        for device in devices:
+            device.enable_fault_hooks()
+        return [env.process(self._inject(env, devices[f.device_index],
+                                         f))
+                for f in self.faults]
+
+    def _inject(self, env: Environment, device: "NCSDevice",
+                fault: DeviceFault) -> Generator[Event, None, None]:
+        if fault.at > env.now:
+            yield env.timeout(fault.at - env.now)
+        if device.dead:
+            return  # already gone; nothing left to break
+        if fault.kind == DEATH:
+            device.inject_death()
+        elif fault.kind == HANG:
+            device.inject_hang()
+        elif fault.kind == THERMAL:
+            device.inject_thermal_runaway()
+        elif fault.kind == BUSY:
+            device.inject_busy(fault.duration)
+        self.injected.append((fault.kind, device.device_id, env.now))

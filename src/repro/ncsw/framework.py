@@ -132,7 +132,17 @@ class NCSw:
         env.run(until=env.process(main()))
         if isinstance(source, ImageFolder):
             result.decode_seconds_excluded = source.decoder.stats.seconds
+        self._fold_fault_stats(target, result)
         return result
+
+    @staticmethod
+    def _fold_fault_stats(target: TargetDevice,
+                          result: RunResult) -> None:
+        """Copy the target's degraded-mode accounting into the result."""
+        stats = target.fault_stats()
+        result.failures = list(stats.events)
+        result.reassigned = stats.reassigned
+        result.abandoned = stats.abandoned
 
     # -- grouped run ---------------------------------------------------------------
     def run_group(self, source_name: str, target_names: list[str], *,
@@ -201,4 +211,7 @@ class NCSw:
         procs = [env.process(group_main(t, w, results[n]))
                  for t, w, n in zip(targets, splits, target_names) if w]
         env.run(until=env.all_of(procs))
+        for target, work, name in zip(targets, splits, target_names):
+            if work:
+                self._fold_fault_stats(target, results[name])
         return results

@@ -17,8 +17,10 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.errors import FrameworkError
+from repro.errors import DeviceTimeout, FrameworkError
 from repro.ncs.ncapi import GraphHandle
+from repro.ncsw.faults import FailureEvent
+from repro.ncsw.scheduler import FAILOVER_ERRORS
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Store
 
@@ -48,6 +50,29 @@ class PipelineResult:
     frames_dropped: int
     wall_seconds: float
     latencies: list[float] = field(default_factory=list)
+    #: Frames stranded by device failures: accepted into the queue but
+    #: never classified because no worker survived to take them.
+    frames_abandoned: int = 0
+    #: Device failures observed during the run (fault-tolerant mode).
+    failures: list[FailureEvent] = field(default_factory=list)
+    #: Frames drained off a failed device and retried on a survivor.
+    frames_reassigned: int = 0
+
+    def __post_init__(self) -> None:
+        # Every offered frame must be accounted for exactly once —
+        # classified, dropped at the queue, or abandoned to a failure.
+        accounted = (self.frames_processed + self.frames_dropped
+                     + self.frames_abandoned)
+        if accounted != self.frames_offered:
+            raise FrameworkError(
+                f"frame accounting broken: {self.frames_processed} "
+                f"processed + {self.frames_dropped} dropped + "
+                f"{self.frames_abandoned} abandoned != "
+                f"{self.frames_offered} offered")
+        if len(self.latencies) != self.frames_processed:
+            raise FrameworkError(
+                f"{self.frames_processed} frames processed but "
+                f"{len(self.latencies)} latencies recorded")
 
     @property
     def sustained_fps(self) -> float:
@@ -62,6 +87,11 @@ class PipelineResult:
         if self.frames_offered == 0:
             return 0.0
         return self.frames_dropped / self.frames_offered
+
+    @property
+    def degraded(self) -> bool:
+        """True when any device failed or any frame was abandoned."""
+        return bool(self.failures) or self.frames_abandoned > 0
 
     def latency_percentile(self, q: float) -> float:
         """End-to-end latency percentile (q in [0, 100])."""
@@ -89,21 +119,31 @@ class StreamingPipeline:
     """Camera -> bounded queue -> multi-stick worker pool."""
 
     def __init__(self, env: Environment, graphs: list[GraphHandle],
-                 fps: float, queue_depth: int = 4) -> None:
+                 fps: float, queue_depth: int = 4,
+                 fault_tolerant: bool = False,
+                 call_timeout: Optional[float] = None) -> None:
         if not graphs:
             raise FrameworkError("pipeline needs at least one device")
         if fps <= 0:
             raise FrameworkError(f"fps must be positive, got {fps}")
         if queue_depth < 1:
             raise FrameworkError("queue_depth must be >= 1")
+        if call_timeout is not None and call_timeout <= 0:
+            raise FrameworkError(
+                f"call_timeout must be positive, got {call_timeout}")
         self.env = env
         self.graphs = graphs
         self.fps = fps
         self.queue_depth = queue_depth
+        self.fault_tolerant = bool(fault_tolerant) or (
+            call_timeout is not None)
+        self.call_timeout = call_timeout
         self._queue = Store(env, capacity=float("inf"))
         self._queued = 0
         self.records: list[FrameRecord] = []
         self.dropped = 0
+        self.failures: list[FailureEvent] = []
+        self.reassigned = 0
 
     def run(self, num_frames: int) -> Event:
         """Stream *num_frames*; event value is a PipelineResult."""
@@ -115,13 +155,19 @@ class StreamingPipeline:
              ) -> Generator[Event, None, PipelineResult]:
         t0 = self.env.now
         producer = self.env.process(self._producer(num_frames))
-        workers = [self.env.process(self._worker(g))
-                   for g in self.graphs]
+        workers = [self.env.process(
+                       self._worker_ft(g, idx) if self.fault_tolerant
+                       else self._worker(g))
+                   for idx, g in enumerate(self.graphs)]
         yield producer
         # Poison-pill each worker after the source dries up.
         for _ in workers:
             yield self._queue.put(None)
         yield self.env.all_of(workers)
+        # Frames still queued once every worker has exited (all sticks
+        # dead) were accepted but never classified: abandoned.
+        abandoned = sum(1 for f in self._queue.items if f is not None)
+        self._queue.items.clear()
         latencies = [r.latency for r in self.records
                      if r.latency is not None]
         return PipelineResult(
@@ -130,6 +176,9 @@ class StreamingPipeline:
             frames_dropped=self.dropped,
             wall_seconds=self.env.now - t0,
             latencies=latencies,
+            frames_abandoned=abandoned,
+            failures=list(self.failures),
+            frames_reassigned=self.reassigned,
         )
 
     def _producer(self, num_frames: int
@@ -167,6 +216,52 @@ class StreamingPipeline:
                     self._queued)
             yield graph.load_tensor(None, user=frame)
             _, got = yield graph.get_result()
+            got.completed_at = self.env.now
+            self.records.append(got)
+            if obs is not None:
+                obs.metrics.histogram(
+                    "pipeline.latency_seconds").observe(
+                        got.completed_at - got.arrived_at)
+
+    def _worker_ft(self, graph: GraphHandle, device_index: int
+                   ) -> Generator[Event, None, None]:
+        # Same loop as ``_worker`` but the stick dying mid-frame kills
+        # only this worker: the in-flight frame jumps back to the head
+        # of the queue for a survivor, and the failure is recorded.
+        obs = self.env.obs
+        while True:
+            frame = yield self._queue.get()
+            if frame is None:
+                return
+            self._queued -= 1
+            if obs is not None:
+                obs.metrics.gauge("pipeline.queue_depth").set(
+                    self._queued)
+            try:
+                yield graph.load_tensor(None, user=frame,
+                                        timeout=self.call_timeout)
+                _, got = yield graph.get_result(
+                    timeout=self.call_timeout)
+            except FAILOVER_ERRORS as exc:
+                if isinstance(exc, DeviceTimeout) \
+                        and not graph.device.dead:
+                    graph.fail_device("hang", str(exc))
+                device = graph.device
+                self._queued += 1
+                self._queue.put_front(frame)
+                self.reassigned += 1
+                self.failures.append(FailureEvent(
+                    device=device.device_id,
+                    worker=f"vpu{device_index}",
+                    time=(device.failure_time
+                          if device.failure_time is not None
+                          else self.env.now),
+                    kind=device.failure_kind or "death",
+                    detail=str(exc), requeued=1))
+                if obs is not None:
+                    obs.metrics.counter(
+                        "pipeline.device_failures").inc()
+                return
             got.completed_at = self.env.now
             self.records.append(got)
             if obs is not None:

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.errors import FrameworkError
 from repro.numerics.stats import RunningStats
+
+if TYPE_CHECKING:
+    from repro.ncsw.faults import FailureEvent
 
 
 @dataclass(frozen=True)
@@ -60,11 +63,30 @@ class RunResult:
     #: round-robin split in ``run_group`` with more targets than
     #: items); such a result holds no measurement.
     empty: bool = False
+    #: Device failures observed during the run (fault-tolerant targets
+    #: only; empty on healthy runs).
+    failures: list["FailureEvent"] = field(default_factory=list)
+    #: Work items drained off failed devices and re-dispatched.
+    reassigned: int = 0
+    #: Work items given up on (retry budget exhausted / no survivors).
+    abandoned: int = 0
 
     @property
     def images(self) -> int:
         """Number of inference records in the run."""
         return len(self.records)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any device failed or any work was abandoned."""
+        return bool(self.failures) or self.abandoned > 0
+
+    def dead_devices(self) -> tuple[str, ...]:
+        """Unique failed-device ids, in failure order."""
+        seen: dict[str, None] = {}
+        for e in self.failures:
+            seen.setdefault(e.device, None)
+        return tuple(seen)
 
     def throughput(self) -> float:
         """Images per second over the run (paper Fig. 6a metric)."""
@@ -157,4 +179,10 @@ class RunResult:
             parts.append(f"top-1 err {self.top1_error():.4f}")
         except FrameworkError:
             pass
+        if self.degraded:
+            parts.append(
+                f"DEGRADED: {len(self.failures)} failure(s) on "
+                f"{{{', '.join(self.dead_devices())}}}, "
+                f"{self.reassigned} reassigned, "
+                f"{self.abandoned} abandoned")
         return " | ".join(parts)

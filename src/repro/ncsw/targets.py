@@ -14,9 +14,11 @@ import numpy as np
 from repro.baselines.cpu import CPUDevice
 from repro.baselines.device import InferenceDevice
 from repro.baselines.gpu import GPUDevice
-from repro.errors import FrameworkError
+from repro.errors import (DeviceLost, FrameworkError, NCAPIError,
+                          USBError)
 from repro.ncs.ncapi import NCAPI, GraphHandle
 from repro.ncs.usb import paper_testbed_topology
+from repro.ncsw.faults import FaultPlan, FaultStats
 from repro.ncsw.results import InferenceRecord
 from repro.ncsw.scheduler import MultiVPUScheduler
 from repro.ncsw.sources import WorkItem
@@ -44,6 +46,11 @@ class TargetDevice:
     def device_count(self) -> int:
         """Number of physical devices this target drives."""
         return 1
+
+    def fault_stats(self) -> FaultStats:
+        """Degraded-mode accounting for the last run (empty unless the
+        target supports fault injection and something failed)."""
+        return FaultStats()
 
 
 class _HostTarget(TargetDevice):
@@ -142,6 +149,12 @@ class IntelVPU(TargetDevice):
         (ablation).
     graph:
         A pre-compiled graph to reuse (saves recompilation in sweeps).
+    fault_plan:
+        A :class:`~repro.ncsw.faults.FaultPlan` of seeded device
+        failures to arm against the sticks (enables fault tolerance).
+    call_timeout:
+        Per-call NCAPI deadline in seconds (enables fault tolerance;
+        the only way to detect a hung firmware).
     """
 
     name = "vpu"
@@ -153,7 +166,12 @@ class IntelVPU(TargetDevice):
                  graph: Optional[CompiledGraph] = None,
                  chip_config: Optional[Myriad2Config] = None,
                  jitter: float = 0.0,
-                 dynamic: bool = False) -> None:
+                 dynamic: bool = False,
+                 fault_plan: Optional[FaultPlan] = None,
+                 fault_tolerant: bool = False,
+                 call_timeout: Optional[float] = None,
+                 max_retries: int = 3,
+                 retry_backoff_s: float = 1e-3) -> None:
         if network is None and graph is None:
             raise FrameworkError("IntelVPU needs a network or a graph")
         if not 1 <= num_devices <= 8:
@@ -165,11 +183,19 @@ class IntelVPU(TargetDevice):
         self.chip_config = chip_config
         self.jitter = jitter
         self.dynamic = dynamic
+        self.fault_plan = fault_plan
+        self.fault_tolerant = (bool(fault_tolerant)
+                               or fault_plan is not None
+                               or call_timeout is not None)
+        self.call_timeout = call_timeout
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         self._graph = graph if graph is not None else compile_graph(
             network)  # type: ignore[arg-type]
         self._env: Optional[Environment] = None
         self._handles: list[GraphHandle] = []
         self.api: Optional[NCAPI] = None
+        self._fault_stats = FaultStats()
 
     @property
     def tdp_watts(self) -> float:  # type: ignore[override]
@@ -186,17 +212,32 @@ class IntelVPU(TargetDevice):
         """The compiled graph resident on every stick."""
         return self._graph
 
+    def fault_stats(self) -> FaultStats:
+        """Failures/reassignments/abandonments over the whole run."""
+        return self._fault_stats
+
     def prepare(self, env: Environment) -> Event:
         self._env = env
+        self._fault_stats = FaultStats()  # fresh run, fresh accounting
         topo = paper_testbed_topology(env, num_devices=self.num_devices)
         self.api = NCAPI(env, topo, functional=self.functional,
                          chip_config=self.chip_config)
         for device in self.api.devices:
             device.latency_jitter = self.jitter
+        if self.fault_plan is not None:
+            self.fault_plan.arm(env, self.api.devices)
+        elif self.fault_tolerant:
+            # No scheduled faults, but failover still needs the lost-
+            # device hooks armed so host-injected deaths abort calls.
+            for device in self.api.devices:
+                device.enable_fault_hooks()
         return env.process(self._prepare())
 
     def _prepare(self) -> Generator[Event, None, None]:
         assert self.api is not None
+        if self.fault_tolerant:
+            yield from self._prepare_ft()
+            return
         # Boot every stick and allocate the graph, concurrently —
         # exactly what NCSw does at start-up.
         opens = [self.api.open_device(i)
@@ -208,16 +249,62 @@ class IntelVPU(TargetDevice):
         graphs = yield self._env.all_of(allocs)  # type: ignore[union-attr]
         self._handles = [graphs[ev] for ev in allocs]
 
+    def _prepare_ft(self) -> Generator[Event, None, None]:
+        # Same two-barrier shape as the default path (all opens, then
+        # all allocations) so a fault-tolerant run with no faults keeps
+        # byte-identical timing — but each phase is wrapped per stick
+        # so a fault firing mid-boot costs that stick alone, not the
+        # whole bring-up.
+        env = self._env
+        assert env is not None and self.api is not None
+
+        def open_one(index: int):
+            try:
+                return (yield self.api.open_device(index))
+            except (DeviceLost, NCAPIError, USBError):
+                return None  # died during boot: not in rotation
+
+        opens = [env.process(open_one(i))
+                 for i in range(self.num_devices)]
+        opened = yield env.all_of(opens)
+
+        def alloc_one(handle):
+            try:
+                return (yield handle.allocate_compiled(self._graph))
+            except (DeviceLost, NCAPIError, USBError):
+                return None  # died during allocation
+
+        allocs = [env.process(alloc_one(opened[p]))
+                  for p in opens if opened[p] is not None]
+        results = yield env.all_of(allocs)
+        self._handles = [results[p] for p in allocs
+                         if results[p] is not None]
+
     def process_batch(self, items: list[WorkItem]) -> Event:
-        if self._env is None or not self._handles:
+        if self._env is None:
+            raise FrameworkError("IntelVPU: prepare() not called")
+        if not self._handles:
+            if self.fault_tolerant:
+                # Every stick died during bring-up: nothing can run.
+                self._fault_stats.abandoned += len(items)
+                return self._env.timeout(0.0, value=[])
             raise FrameworkError("IntelVPU: prepare() not called")
         return self._env.process(self._process(items))
 
     def _process(self, items: list[WorkItem]
                  ) -> Generator[Event, None, list[InferenceRecord]]:
         assert self._env is not None
-        scheduler = MultiVPUScheduler(self._env, self._handles,
-                                      overlap=self.overlap,
-                                      dynamic=self.dynamic)
+        scheduler = MultiVPUScheduler(
+            self._env, self._handles,
+            overlap=self.overlap,
+            dynamic=self.dynamic,
+            fault_tolerant=self.fault_tolerant,
+            call_timeout=self.call_timeout,
+            max_retries=self.max_retries,
+            retry_backoff_s=self.retry_backoff_s)
         yield scheduler.run(items)
+        if self.fault_tolerant:
+            # One scheduler per batch; fold its accounting into the
+            # run-level stats the framework reads back.
+            self._fault_stats.merge(scheduler.fault_stats())
         return scheduler.records

@@ -37,6 +37,7 @@ from repro.obs.metrics import (
 from repro.obs.session import ObsSession
 from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
 from repro.obs.report import (
+    device_failures,
     device_utilisation,
     link_occupancy,
     utilisation_report,
@@ -55,6 +56,7 @@ __all__ = [
     "ObsSession",
     "to_chrome_trace",
     "write_chrome_trace",
+    "device_failures",
     "device_utilisation",
     "link_occupancy",
     "utilisation_report",

@@ -21,6 +21,8 @@ INFERENCE_SPAN = "inference"
 TRANSFER_SPAN = "usb_transfer"
 #: Track suffix for the host-side NCAPI call spans of a device.
 HOST_TRACK_SUFFIX = "/host"
+#: Instant-event name the NCS device model emits when a stick dies.
+FAILURE_MARK = "device_failed"
 
 
 def device_utilisation(session: ObsSession,
@@ -56,6 +58,24 @@ def device_utilisation(session: ObsSession,
             "energy_joules": session.energy_joules(track),
         }
     return table
+
+
+def device_failures(session: ObsSession
+                    ) -> list[dict[str, object]]:
+    """Device deaths recorded in the trace, in time order.
+
+    Each entry maps ``device``, ``time``, ``kind`` and ``detail``,
+    taken from the ``device_failed`` instants the NCS device model
+    emits when a stick is written off.
+    """
+    tracer = session.tracer
+    marks = sorted(tracer.by_name(FAILURE_MARK),
+                   key=lambda s: (s.start, s.track))
+    return [{"device": s.track,
+             "time": s.start,
+             "kind": s.args.get("kind", ""),
+             "detail": s.args.get("detail", "")}
+            for s in marks]
 
 
 def link_occupancy(session: ObsSession,
@@ -100,6 +120,16 @@ def utilisation_report(session: ObsSession,
                 f"{d['transfer_seconds'] * 1000:>8.1f} "
                 f"{d['idle_fraction']:>7.1%} "
                 f"{d['energy_joules']:>9.3f}")
+
+    failures = device_failures(session)
+    if failures:
+        lines.append("")
+        lines.append(
+            f"  {'dead device':<12} {'at ms':>9} {'kind':>8}  detail")
+        for f in failures:
+            lines.append(
+                f"  {f['device']:<12} {f['time'] * 1000:>9.3f} "
+                f"{f['kind']:>8}  {f['detail']}")
 
     links = link_occupancy(session, wall)
     if links:

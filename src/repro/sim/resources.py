@@ -160,6 +160,24 @@ class Store:
         self._dispatch()
         return event
 
+    def put_front(self, item: Any) -> StorePut:
+        """Insert *item* at the head of the FIFO, jumping the queue.
+
+        Failover uses this to hand back a drained in-flight item so it
+        is retried before untouched work.  Unlike :meth:`put` this
+        never blocks: a full store raises instead, since queue-jumping
+        a full buffer has no sensible wait semantics.
+        """
+        if len(self.items) >= self.capacity:
+            raise SimulationError(
+                "put_front on a full store (capacity "
+                f"{self.capacity})")
+        event = StorePut(self, item)
+        self.items.insert(0, item)
+        event.succeed()
+        self._dispatch()  # a blocked getter may now be servable
+        return event
+
     # -- internals ----------------------------------------------------------
     def _dispatch(self) -> None:
         progress = True

@@ -1,10 +1,16 @@
-"""Failure-injection tests: flaky USB links, retries, device reset."""
+"""Failure-injection tests: flaky USB links, retries, device reset,
+and the device-level fault hooks behind the chaos harness (hangs,
+thermal shutdown, transient busy)."""
 
 import pytest
 
-from repro.errors import NCAPIError, USBError
+from repro.errors import (DeviceTimeout, NCAPIError, ThermalShutdown,
+                          USBError)
 from repro.ncs import NCAPI, USBTopology
+from repro.ncs.thermal import ThermalConfig, ThermalModel
 from repro.ncs.usb import USB_MAX_ATTEMPTS, USB_RETRY_BACKOFF_S
+from repro.ncsw.scheduler import MultiVPUScheduler
+from repro.ncsw.sources import WorkItem
 from repro.nn import get_model
 from repro.nn.weights import initialize_network
 from repro.sim import Environment
@@ -149,3 +155,136 @@ def test_reset_releases_ddr(micro_graph):
 
     before, after = env.run(until=env.process(scenario()))
     assert after == before
+
+
+# -- device fault hooks (hang / thermal / busy) ------------------------
+
+def _single_stick(env, micro_graph):
+    """One open stick with an allocated graph, returned to a scenario."""
+    topo = USBTopology(env)
+    topo.attach_device("ncs0")
+    api = NCAPI(env, topo, functional=False)
+    return api
+
+
+def test_hang_timeout_fires(micro_graph):
+    """A hung firmware never answers; only the per-call deadline can
+    detect it — and it raises DeviceTimeout, not a silent stall."""
+    env = Environment()
+    api = _single_stick(env, micro_graph)
+    device = api.devices[0]
+
+    def scenario():
+        dev = yield api.open_device(0)
+        graph = yield dev.allocate_compiled(micro_graph)
+        device.enable_fault_hooks()
+        yield graph.load_tensor(None)
+        device.inject_hang()
+        t0 = env.now
+        with pytest.raises(DeviceTimeout):
+            yield graph.get_result(timeout=0.01)
+        return env.now - t0
+
+    waited = env.run(until=env.process(scenario()))
+    assert waited == pytest.approx(0.01)
+
+
+def test_injected_thermal_runaway_marks_dead(micro_graph):
+    """Thermal shutdown kills the stick instead of looping: further
+    calls fail fast with ThermalShutdown."""
+    env = Environment()
+    api = _single_stick(env, micro_graph)
+    device = api.devices[0]
+
+    def scenario():
+        dev = yield api.open_device(0)
+        graph = yield dev.allocate_compiled(micro_graph)
+        device.enable_fault_hooks()
+        yield graph.load_tensor(None)
+        yield graph.get_result()
+        device.inject_thermal_runaway()
+        assert device.dead
+        assert device.failure_kind == "thermal"
+        with pytest.raises(ThermalShutdown):
+            yield graph.load_tensor(None)
+        yield env.timeout(0)
+
+    env.run(until=env.process(scenario()))
+    assert device.thermal is not None and device.thermal.shut_down
+
+
+def test_organic_thermal_shutdown(micro_graph):
+    """A pathological thermal config cooks the stick mid-run; the
+    firmware dies through mark_dead instead of hanging the loop."""
+    env = Environment()
+    api = _single_stick(env, micro_graph)
+    device = api.devices[0]
+    # Steady state at 2.5 W is 75 C; with a 200 ms time constant and a
+    # 40 C cut-off the stick shuts down after a handful of inferences.
+    device.thermal = ThermalModel(ThermalConfig(
+        throttle_temp_c=35.0, recover_temp_c=30.0,
+        shutdown_temp_c=40.0, time_constant_s=0.2))
+
+    def scenario():
+        dev = yield api.open_device(0)
+        graph = yield dev.allocate_compiled(micro_graph)
+        device.enable_fault_hooks()
+        done = 0
+        with pytest.raises(ThermalShutdown):
+            for _ in range(100):
+                yield graph.load_tensor(None)
+                yield graph.get_result()
+                done += 1
+        return done
+
+    done = env.run(until=env.process(scenario()))
+    assert device.dead and device.failure_kind == "thermal"
+    assert 0 < done < 100
+
+
+def test_busy_is_retried_with_backoff(micro_graph):
+    """A short busy window is absorbed by the scheduler's bounded
+    retry/backoff loop: all work completes, no failure recorded."""
+    env = Environment()
+    api = _single_stick(env, micro_graph)
+    device = api.devices[0]
+
+    def scenario():
+        dev = yield api.open_device(0)
+        graph = yield dev.allocate_compiled(micro_graph)
+        # Busy for 2 ms; the retry budget (1+2+3 ms of backoff)
+        # outlasts it.
+        device.inject_busy(0.002)
+        sched = MultiVPUScheduler(env, [graph], fault_tolerant=True)
+        yield sched.run([WorkItem(i, i, None, None) for i in range(4)])
+        return sched
+
+    sched = env.run(until=env.process(scenario()))
+    assert len(sched.records) == 4
+    assert device.busy_rejections > 0
+    assert not sched.failures
+    assert not sched.abandoned
+
+
+def test_busy_gives_up_after_max_retries(micro_graph):
+    """A busy window longer than the whole retry budget is treated as
+    a device failure: bounded give-up, work abandoned, not an
+    infinite retry loop."""
+    env = Environment()
+    api = _single_stick(env, micro_graph)
+    device = api.devices[0]
+
+    def scenario():
+        dev = yield api.open_device(0)
+        graph = yield dev.allocate_compiled(micro_graph)
+        device.inject_busy(10.0)
+        sched = MultiVPUScheduler(env, [graph], fault_tolerant=True)
+        yield sched.run([WorkItem(i, i, None, None) for i in range(4)])
+        return sched
+
+    sched = env.run(until=env.process(scenario()))
+    assert len(sched.records) == 0
+    assert len(sched.abandoned) == 4
+    assert sched.failures and sched.failures[0].kind == "busy"
+    # Initial attempt + max_retries further tries, all rejected.
+    assert device.busy_rejections == 1 + sched.max_retries

@@ -98,7 +98,8 @@ def test_result_summary_and_guards(micro_graph):
     with pytest.raises(FrameworkError):
         empty.latency_percentile(50)
     zero_time = PipelineResult(frames_offered=1, frames_processed=1,
-                               frames_dropped=0, wall_seconds=0.0)
+                               frames_dropped=0, wall_seconds=0.0,
+                               latencies=[0.01])
     with pytest.raises(FrameworkError):
         _ = zero_time.sustained_fps
 
@@ -113,6 +114,55 @@ def test_summary_degrades_when_all_frames_dropped():
     assert "100.0% dropped" in s
     assert "no completed frames" in s
     assert "p95" not in s
+
+
+def test_accounting_invariant_is_enforced():
+    # processed + dropped + abandoned must equal offered.
+    with pytest.raises(FrameworkError):
+        PipelineResult(frames_offered=10, frames_processed=5,
+                       frames_dropped=2, wall_seconds=1.0,
+                       latencies=[0.0] * 5)
+    # ...and latencies must match the processed count.
+    with pytest.raises(FrameworkError):
+        PipelineResult(frames_offered=5, frames_processed=5,
+                       frames_dropped=0, wall_seconds=1.0,
+                       latencies=[0.0] * 3)
+
+
+def test_pipeline_survives_device_death(micro_graph):
+    """A stick dying mid-stream fails over: the survivor keeps the
+    pipeline alive and every frame is accounted for."""
+    env = Environment()
+    topo = paper_testbed_topology(env, num_devices=2)
+    api = NCAPI(env, topo, functional=False)
+
+    def scenario():
+        opens = [api.open_device(i) for i in range(2)]
+        handles = yield env.all_of(opens)
+        devs = [handles[ev] for ev in opens]
+        allocs = [d.allocate_compiled(micro_graph) for d in devs]
+        graphs = yield env.all_of(allocs)
+        for d in api.devices:
+            d.enable_fault_hooks()
+
+        def killer():
+            yield env.timeout(0.05)
+            api.devices[0].inject_death()
+
+        env.process(killer())
+        pipeline = StreamingPipeline(
+            env, [graphs[ev] for ev in allocs], fps=300,
+            fault_tolerant=True, call_timeout=0.05)
+        result = yield pipeline.run(60)
+        return result
+
+    result = env.run(until=env.process(scenario()))
+    assert result.degraded
+    assert result.failures and result.failures[0].kind == "death"
+    assert (result.frames_processed + result.frames_dropped
+            + result.frames_abandoned) == 60
+    # The survivor kept serving after the death.
+    assert result.frames_processed > 0
 
 
 def test_run_validation(micro_graph):
