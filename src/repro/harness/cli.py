@@ -97,6 +97,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  profile   per-layer VPU timing report for a zoo model")
     print("  profile-run  one instrumented run + utilisation report")
     print("  chaos-run    seeded fault-injection sweep (kill stick k)")
+    print("  serve-run    open-loop serving run with an SLO report")
+    print("  serve-sweep  max sustainable arrival rate per config")
     return 0
 
 
@@ -319,6 +321,189 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_targets(spec: str, *, fault_plan=None, call_timeout=None):
+    """Build named targets from a spec like ``vpu8`` or ``vpu4,cpu``.
+
+    Tokens: ``cpu``, ``gpu``, ``vpuN`` (N sticks, 1-8).  All targets
+    run timing-only (non-functional) on the paper-scale GoogLeNet.
+    A fault plan / call timeout applies to every VPU token.
+    """
+    from repro.harness.experiment import (
+        paper_timing_graph,
+        paper_timing_network,
+    )
+    from repro.ncsw import IntelCPU, IntelVPU, NvGPU
+
+    targets = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token == "cpu":
+            targets[token] = IntelCPU(paper_timing_network(),
+                                      functional=False)
+        elif token == "gpu":
+            targets[token] = NvGPU(paper_timing_network(),
+                                   functional=False)
+        elif token.startswith("vpu") and token[3:].isdigit():
+            targets[token] = IntelVPU(
+                graph=paper_timing_graph(),
+                num_devices=int(token[3:]), functional=False,
+                fault_plan=fault_plan, call_timeout=call_timeout)
+        else:
+            print(f"--backends: unknown token {token!r} "
+                  "(expected cpu, gpu or vpuN)")
+            return None
+    if not targets:
+        print("--backends: no targets given")
+        return None
+    return targets
+
+
+def _serve_workload(args: argparse.Namespace):
+    """Build the arrival process selected by --workload."""
+    from repro.serve import (
+        BurstyWorkload,
+        DiurnalWorkload,
+        PoissonWorkload,
+        TraceWorkload,
+    )
+
+    if args.workload == "poisson":
+        return PoissonWorkload(rate=args.rate, seed=args.seed)
+    if args.workload == "bursty":
+        burst = (args.burst_rate if args.burst_rate is not None
+                 else 4.0 * args.rate)
+        return BurstyWorkload(base_rate=args.rate, burst_rate=burst,
+                              seed=args.seed)
+    if args.workload == "diurnal":
+        return DiurnalWorkload(peak_rate=args.rate,
+                               period_s=args.period, seed=args.seed)
+    # replay
+    if args.replay is None:
+        print("--workload replay needs --replay PATH")
+        return None
+    return TraceWorkload.from_file(args.replay)
+
+
+def _serve_server(args: argparse.Namespace, targets, obs=None):
+    from repro.serve import InferenceServer
+
+    server = InferenceServer(
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait / 1000.0,
+        policy=args.route,
+        slo_seconds=args.slo / 1000.0,
+        deadline_seconds=(args.deadline / 1000.0
+                          if args.deadline is not None else None),
+        warmup=args.warmup,
+        obs=obs)
+    for name, target in targets.items():
+        server.add_target(name, target)
+    return server
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    """One open-loop serving run with a full SLO report.
+
+    With ``--kill-stick`` a healthy baseline runs first to locate the
+    serving window, then the measured run fails that stick at
+    ``--kill-at`` of the baseline's serving wall time — the serving
+    analogue of ``chaos-run``.  Exits non-zero when nothing completes.
+    """
+    from repro.serve import render_slo_report
+
+    workload = _serve_workload(args)
+    if workload is None:
+        return 2
+    if not 0.0 <= args.kill_at <= 1.0:
+        print(f"--kill-at must be in [0, 1], got {args.kill_at}")
+        return 2
+
+    fault_plan = None
+    call_timeout = None
+    if args.kill_stick is not None:
+        from repro.ncsw import FaultPlan
+
+        targets = _serve_targets(args.backends)
+        if targets is None:
+            return 2
+        base = _serve_server(args, targets).run(workload,
+                                               args.requests)
+        kill_time = (base.prepare_seconds
+                     + args.kill_at * base.wall_seconds)
+        fault_plan = FaultPlan.kill(args.kill_stick, kill_time,
+                                    kind=args.kind)
+        call_timeout = args.timeout
+        print(f"baseline: {base.summary()}")
+        print(f"chaos: kill stick {args.kill_stick} ({args.kind}) at "
+              f"{kill_time * 1000:.2f} ms "
+              f"(serving start + {args.kill_at:.0%} of wall)")
+        print()
+
+    targets = _serve_targets(args.backends, fault_plan=fault_plan,
+                             call_timeout=call_timeout)
+    if targets is None:
+        return 2
+    obs = _obs_from_args(args)
+    result = _serve_server(args, targets, obs=obs).run(workload,
+                                                       args.requests)
+    print(render_slo_report(result, workload=workload.describe()))
+    if obs is not None:
+        print()
+    _finish_trace(args, obs)
+    return 0 if result.completed > 0 else 1
+
+
+def _cmd_serve_sweep(args: argparse.Namespace) -> int:
+    """Bisect the max sustainable arrival rate per configuration.
+
+    Each ``--configs`` token becomes one single-backend configuration
+    (e.g. ``vpu1,vpu2,vpu4,vpu8`` sweeps the paper's stick scaling in
+    the serving regime).  The starting bracket is twice the measured
+    closed-loop throughput of each configuration.
+    """
+    from repro.ncsw import NCSw, SyntheticSource
+    from repro.serve import PoissonWorkload, find_max_rate, render_sweep_table
+
+    results = []
+    for token in args.configs.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        targets = _serve_targets(token)
+        if targets is None:
+            return 2
+        # Closed-loop capacity estimate: a short batch campaign.
+        target = next(iter(targets.values()))
+        fw = NCSw()
+        fw.add_source("synthetic", SyntheticSource(64))
+        fw.add_target(token, target)
+        batch = max(1, target.preferred_batch_size)
+        capacity = fw.run("synthetic", token,
+                          batch_size=batch).throughput()
+
+        def run_at(rate: float, token=token):
+            srv = _serve_server(args, _serve_targets(token))
+            return srv.run(PoissonWorkload(rate=rate, seed=args.seed),
+                           args.requests)
+
+        sweep = find_max_rate(run_at, slo_seconds=args.slo / 1000.0,
+                              hi=2.0 * capacity, steps=args.steps,
+                              label=token)
+        print(f"{sweep.summary()} "
+              f"(closed-loop capacity {capacity:.1f} img/s)")
+        results.append(sweep)
+    if not results:
+        print("--configs: no configurations given")
+        return 2
+    print()
+    print(render_sweep_table(results))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI parser."""
     parser = argparse.ArgumentParser(
@@ -395,6 +580,94 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", default=None, metavar="PATH",
                        help="record a Perfetto trace of the chaos "
                             "runs here")
+
+    serve_common = argparse.ArgumentParser(add_help=False)
+    serve_common.add_argument(
+        "--requests", type=int, default=400,
+        help="requests per run (default 400)")
+    serve_common.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (same seed -> byte-identical run)")
+    serve_common.add_argument(
+        "--slo", type=float, default=500.0, metavar="MS",
+        help="p99 end-to-end latency objective in ms (default 500; "
+             "one paper-scale inference is ~100 ms and a loaded "
+             "pipeline holds about two batches in flight)")
+    serve_common.add_argument(
+        "--deadline", type=float, default=None, metavar="MS",
+        help="per-request queue deadline in ms (default: none)")
+    serve_common.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission queue bound (default 64)")
+    serve_common.add_argument(
+        "--admission", default="reject-newest",
+        choices=["block", "shed-oldest", "reject-newest"],
+        help="overload policy at the admission queue")
+    serve_common.add_argument(
+        "--route", default="round-robin",
+        choices=["round-robin", "least-outstanding", "latency-ewma"],
+        help="backend routing policy")
+    serve_common.add_argument(
+        "--max-batch", type=int, default=None,
+        help="batch size cap (default: backend preference)")
+    serve_common.add_argument(
+        "--max-wait", type=float, default=2.0, metavar="MS",
+        help="dynamic batcher window in ms (default 2)")
+    serve_common.add_argument(
+        "--warmup", type=int, default=0,
+        help="leading completions excluded from latency stats")
+
+    serve_run = sub.add_parser(
+        "serve-run", parents=[serve_common],
+        help="one open-loop serving run with a full SLO report")
+    serve_run.add_argument(
+        "--backends", default="vpu8",
+        help="comma list of cpu / gpu / vpuN targets (default vpu8)")
+    serve_run.add_argument(
+        "--workload", default="poisson",
+        choices=["poisson", "bursty", "diurnal", "replay"])
+    serve_run.add_argument(
+        "--rate", type=float, default=50.0,
+        help="arrival rate in req/s: poisson rate, bursty base rate, "
+             "diurnal peak rate (default 50)")
+    serve_run.add_argument(
+        "--burst-rate", type=float, default=None,
+        help="bursty peak rate (default: 4x --rate)")
+    serve_run.add_argument(
+        "--period", type=float, default=10.0,
+        help="diurnal period in seconds (default 10)")
+    serve_run.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="arrival-offsets file for --workload replay")
+    serve_run.add_argument(
+        "--kill-stick", type=int, default=None, metavar="K",
+        help="fail VPU stick K mid-run (runs a baseline first)")
+    serve_run.add_argument(
+        "--kill-at", type=float, default=0.5, metavar="FRAC",
+        help="fault time as a fraction of the baseline's serving "
+             "wall time (default 0.5)")
+    serve_run.add_argument(
+        "--kind", default="death",
+        choices=["death", "hang", "thermal", "busy"])
+    serve_run.add_argument(
+        "--timeout", type=float, default=0.5,
+        help="per-call NCAPI deadline in s for chaos runs "
+             "(default 0.5)")
+    serve_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a Perfetto trace + utilisation report")
+
+    serve_sweep = sub.add_parser(
+        "serve-sweep", parents=[serve_common],
+        help="bisect the max sustainable arrival rate per config")
+    serve_sweep.add_argument(
+        "--configs", default="vpu1,vpu2,vpu4,vpu8",
+        help="comma list of configurations to sweep "
+             "(default vpu1,vpu2,vpu4,vpu8)")
+    serve_sweep.add_argument(
+        "--steps", type=int, default=8,
+        help="bisection steps per configuration (default 8)")
+    serve_sweep.set_defaults(requests=200)
     return parser
 
 
@@ -417,6 +690,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile_run(args)
     if args.command == "chaos-run":
         return _cmd_chaos_run(args)
+    if args.command == "serve-run":
+        return _cmd_serve_run(args)
+    if args.command == "serve-sweep":
+        return _cmd_serve_sweep(args)
     raise AssertionError("unreachable")
 
 

@@ -32,7 +32,11 @@ from repro.ncsw.sources import (
 from repro.ncsw.targets import TargetDevice, IntelCPU, NvGPU, IntelVPU
 from repro.ncsw.scheduler import MultiVPUScheduler
 from repro.ncsw.framework import NCSw
-from repro.ncsw.pipeline import StreamingPipeline, PipelineResult
+from repro.ncsw.pipeline import (
+    ADMISSION_POLICIES,
+    PipelineResult,
+    StreamingPipeline,
+)
 from repro.ncsw.results import InferenceRecord, RunResult
 from repro.ncsw.faults import (
     DeviceFault,
@@ -56,6 +60,7 @@ __all__ = [
     "NCSw",
     "StreamingPipeline",
     "PipelineResult",
+    "ADMISSION_POLICIES",
     "InferenceRecord",
     "RunResult",
     "DeviceFault",

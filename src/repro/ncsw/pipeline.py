@@ -94,10 +94,25 @@ class PipelineResult:
         return bool(self.failures) or self.frames_abandoned > 0
 
     def latency_percentile(self, q: float) -> float:
-        """End-to-end latency percentile (q in [0, 100])."""
+        """End-to-end latency percentile (q in [0, 100]).
+
+        Raises :class:`ValueError` when no frame completed — latency
+        percentiles are undefined for such a run.
+        """
         if not self.latencies:
-            raise FrameworkError("no completed frames")
+            raise ValueError(
+                "no completed frames: latency percentiles are "
+                "undefined for this run")
         return float(np.percentile(self.latencies, q))
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency over the completed frames."""
+        if not self.latencies:
+            raise ValueError(
+                "no completed frames: mean latency is undefined for "
+                "this run")
+        return float(np.mean(self.latencies))
 
     def summary(self) -> str:
         """One-line human-readable summary of the run.
@@ -112,7 +127,22 @@ class PipelineResult:
         return (head + ", "
                 f"{self.sustained_fps:.1f} fps sustained, "
                 f"latency p50 {self.latency_percentile(50) * 1000:.1f} "
-                f"ms / p95 {self.latency_percentile(95) * 1000:.1f} ms")
+                f"ms / p95 {self.latency_percentile(95) * 1000:.1f} "
+                f"ms / p99 {self.latency_percentile(99) * 1000:.1f} "
+                f"ms, mean {self.mean_latency * 1000:.1f} ms")
+
+
+#: Reject the incoming frame when the queue is full (a live pipeline
+#: skips frames rather than falling behind) — the historical default.
+REJECT_NEWEST = "reject-newest"
+#: Evict the oldest queued frame to admit the incoming one (stale
+#: frames are worthless to a live classifier anyway).
+SHED_OLDEST = "shed-oldest"
+#: Stall the camera until the queue drains (backpressure: nothing is
+#: lost, but the source falls behind its own clock).
+BLOCK = "block"
+
+ADMISSION_POLICIES = (REJECT_NEWEST, SHED_OLDEST, BLOCK)
 
 
 class StreamingPipeline:
@@ -121,7 +151,8 @@ class StreamingPipeline:
     def __init__(self, env: Environment, graphs: list[GraphHandle],
                  fps: float, queue_depth: int = 4,
                  fault_tolerant: bool = False,
-                 call_timeout: Optional[float] = None) -> None:
+                 call_timeout: Optional[float] = None,
+                 admission: str = REJECT_NEWEST) -> None:
         if not graphs:
             raise FrameworkError("pipeline needs at least one device")
         if fps <= 0:
@@ -131,6 +162,10 @@ class StreamingPipeline:
         if call_timeout is not None and call_timeout <= 0:
             raise FrameworkError(
                 f"call_timeout must be positive, got {call_timeout}")
+        if admission not in ADMISSION_POLICIES:
+            raise FrameworkError(
+                f"unknown admission policy {admission!r}; one of "
+                f"{ADMISSION_POLICIES}")
         self.env = env
         self.graphs = graphs
         self.fps = fps
@@ -138,8 +173,11 @@ class StreamingPipeline:
         self.fault_tolerant = bool(fault_tolerant) or (
             call_timeout is not None)
         self.call_timeout = call_timeout
+        self.admission = admission
         self._queue = Store(env, capacity=float("inf"))
         self._queued = 0
+        self._space: Optional[Event] = None
+        self._alive_workers = len(graphs)
         self.records: list[FrameRecord] = []
         self.dropped = 0
         self.failures: list[FailureEvent] = []
@@ -186,22 +224,62 @@ class StreamingPipeline:
         interval = 1.0 / self.fps
         obs = self.env.obs
         for frame_id in range(num_frames):
-            if self._queued >= self.queue_depth:
-                # Live pipeline: skip the frame rather than stall the
-                # camera (drop-newest policy).
-                self.dropped += 1
-                if obs is not None:
-                    obs.metrics.counter("pipeline.frames_dropped").inc()
+            if obs is not None:
+                obs.metrics.counter("pipeline.frames_offered").inc()
+            if self.admission == BLOCK:
+                # Backpressure: stall the camera until a worker frees
+                # a slot.  Frames are stamped with their production
+                # time, so the stall shows up as queueing latency.
+                # If every device has died the wait would never end;
+                # admit anyway and let the drain count them abandoned.
+                while (self._queued >= self.queue_depth
+                       and self._alive_workers > 0):
+                    self._space = self.env.event()
+                    yield self._space
+                frame = FrameRecord(frame_id, arrived_at=self.env.now)
+            elif self._queued >= self.queue_depth:
+                if self.admission == SHED_OLDEST:
+                    if self._shed_oldest() and obs is not None:
+                        obs.metrics.counter(
+                            "pipeline.frames_dropped").inc()
+                    frame = FrameRecord(frame_id,
+                                        arrived_at=self.env.now)
+                else:
+                    # Live pipeline: skip the frame rather than stall
+                    # the camera (reject-newest policy).
+                    self.dropped += 1
+                    if obs is not None:
+                        obs.metrics.counter(
+                            "pipeline.frames_dropped").inc()
+                    frame = None
             else:
+                frame = FrameRecord(frame_id, arrived_at=self.env.now)
+            if frame is not None:
                 self._queued += 1
-                yield self._queue.put(
-                    FrameRecord(frame_id, arrived_at=self.env.now))
+                yield self._queue.put(frame)
                 if obs is not None:
                     obs.metrics.gauge("pipeline.queue_depth").set(
                         self._queued)
-            if obs is not None:
-                obs.metrics.counter("pipeline.frames_offered").inc()
             yield self.env.timeout(interval)
+
+    def _shed_oldest(self) -> bool:
+        """Evict the oldest still-queued frame; True when one was."""
+        for i, item in enumerate(self._queue.items):
+            if item is not None:
+                del self._queue.items[i]
+                self._queued -= 1
+                self.dropped += 1
+                return True
+        # Queue counted as full but every frame is already in a
+        # worker's hands (get dispatched, decrement still pending):
+        # nothing to shed.
+        return False
+
+    def _notify_space(self) -> None:
+        """Wake a producer blocked on a full queue, if any."""
+        if self._space is not None and not self._space.triggered:
+            self._space.succeed()
+            self._space = None
 
     def _worker(self, graph: GraphHandle
                 ) -> Generator[Event, None, None]:
@@ -209,8 +287,10 @@ class StreamingPipeline:
         while True:
             frame = yield self._queue.get()
             if frame is None:
+                self._alive_workers -= 1
                 return
             self._queued -= 1
+            self._notify_space()
             if obs is not None:
                 obs.metrics.gauge("pipeline.queue_depth").set(
                     self._queued)
@@ -232,8 +312,10 @@ class StreamingPipeline:
         while True:
             frame = yield self._queue.get()
             if frame is None:
+                self._alive_workers -= 1
                 return
             self._queued -= 1
+            self._notify_space()
             if obs is not None:
                 obs.metrics.gauge("pipeline.queue_depth").set(
                     self._queued)
@@ -261,6 +343,11 @@ class StreamingPipeline:
                 if obs is not None:
                     obs.metrics.counter(
                         "pipeline.device_failures").inc()
+                self._alive_workers -= 1
+                if self._alive_workers == 0:
+                    # Last device gone: release a blocked producer so
+                    # the run can drain and account the leftovers.
+                    self._notify_space()
                 return
             got.completed_at = self.env.now
             self.records.append(got)

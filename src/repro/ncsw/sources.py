@@ -9,8 +9,9 @@ deterministic, so this comes for free).
 from __future__ import annotations
 
 import collections
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 import numpy as np
 
@@ -133,22 +134,46 @@ class SyntheticSource(SourceImage):
 
     Used by the performance benchmarks, where the devices run in
     non-functional mode and only the simulated clock matters.
+
+    An optional *payload* hook attaches a tensor to each item, for
+    scenarios that want per-item data variation (e.g. functional-mode
+    serving smoke tests) without a dataset.  Determinism contract:
+    the hook is called as ``payload(rng, index)`` with a NumPy
+    ``Generator`` seeded from ``(seed, index)`` only, so item *i* gets
+    the same tensor on every pass, regardless of how many items were
+    drawn before it or whether a previous iteration stopped early.
+    The framework re-iterates sources per run and relies on this.
     """
 
     name = "synthetic"
 
-    def __init__(self, count: int) -> None:
+    def __init__(self, count: int,
+                 payload: Optional[
+                     Callable[[np.random.Generator, int],
+                              np.ndarray]] = None,
+                 seed: int = 0) -> None:
         if count < 1:
             raise FrameworkError(f"count must be >= 1, got {count}")
         self.count = count
+        self.payload = payload
+        self.seed = seed
+
+    def _item_rng(self, index: int) -> np.random.Generator:
+        digest = hashlib.sha256(
+            f"synthetic:{self.seed}:{index}".encode()).digest()
+        return np.random.default_rng(
+            int.from_bytes(digest[:8], "little"))
 
     def __len__(self) -> int:
         return self.count
 
     def __iter__(self) -> Iterator[WorkItem]:
         for index in range(self.count):
+            tensor = None
+            if self.payload is not None:
+                tensor = self.payload(self._item_rng(index), index)
             yield WorkItem(index=index, image_id=index + 1, label=None,
-                           tensor=None)
+                           tensor=tensor)
 
 
 class MPIStream(SourceImage):

@@ -18,7 +18,7 @@ from repro.errors import (DeviceLost, FrameworkError, NCAPIError,
                           USBError)
 from repro.ncs.ncapi import NCAPI, GraphHandle
 from repro.ncs.usb import paper_testbed_topology
-from repro.ncsw.faults import FaultPlan, FaultStats
+from repro.ncsw.faults import FailureEvent, FaultPlan, FaultStats
 from repro.ncsw.results import InferenceRecord
 from repro.ncsw.scheduler import MultiVPUScheduler
 from repro.ncsw.sources import WorkItem
@@ -46,6 +46,23 @@ class TargetDevice:
     def device_count(self) -> int:
         """Number of physical devices this target drives."""
         return 1
+
+    @property
+    def alive(self) -> bool:
+        """False once the target can no longer serve work (all of its
+        physical devices are dead).  Host targets never die."""
+        return True
+
+    @property
+    def preferred_batch_size(self) -> int:
+        """Batch size this target's hardware path prefers.
+
+        The serving batcher sizes its windows to this hint: the VPU
+        rig peaks at one image per stick (the multi-VPU scheduler
+        deals a batch one item per device), while the Caffe hosts
+        amortise per-batch overheads and want larger batches.
+        """
+        return 8
 
     def fault_stats(self) -> FaultStats:
         """Degraded-mode accounting for the last run (empty unless the
@@ -79,6 +96,12 @@ class _HostTarget(TargetDevice):
     @property
     def tdp_watts(self) -> float:  # type: ignore[override]
         return self._device_cls.tdp_watts
+
+    @property
+    def preferred_batch_size(self) -> int:
+        """Caffe hosts amortise MKL/cuDNN overheads: want big batches
+        (Fig. 6b shows the gain flattening towards batch 16)."""
+        return 16
 
     def process_batch(self, items: list[WorkItem]) -> Event:
         if self._device is None or self._env is None:
@@ -208,12 +231,42 @@ class IntelVPU(TargetDevice):
         return self.num_devices
 
     @property
+    def alive(self) -> bool:
+        """True while at least one stick can still take work."""
+        if self._env is None:
+            return True  # not prepared yet: no evidence of death
+        return any(h.device_alive for h in self._handles)
+
+    @property
+    def preferred_batch_size(self) -> int:
+        """One image per stick: the scheduler deals a batch across the
+        devices, so a larger batch only queues behind itself."""
+        return self.num_devices
+
+    @property
     def compiled_graph(self) -> CompiledGraph:
         """The compiled graph resident on every stick."""
         return self._graph
 
     def fault_stats(self) -> FaultStats:
         """Failures/reassignments/abandonments over the whole run."""
+        # A stick that died while idle (between batches) never aborted
+        # a call, so no scheduler saw it fail; reconcile against the
+        # device state so run-level accounting lists every death.
+        reported = {f.device for f in self._fault_stats.events}
+        for idx, handle in enumerate(self._handles):
+            device = handle.device
+            if device.dead and device.device_id not in reported:
+                self._fault_stats.events.append(FailureEvent(
+                    device=device.device_id,
+                    worker=f"vpu{idx}",
+                    time=(device.failure_time
+                          if device.failure_time is not None
+                          else (self._env.now if self._env else 0.0)),
+                    kind=device.failure_kind or "death",
+                    detail="died idle (no call in flight)",
+                    requeued=0))
+        self._fault_stats.events.sort(key=lambda f: (f.time, f.device))
         return self._fault_stats
 
     def prepare(self, env: Environment) -> Event:

@@ -31,6 +31,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    HistogramSnapshot,
     MetricsRegistry,
     TracerClock,
 )
@@ -40,6 +41,7 @@ from repro.obs.report import (
     device_failures,
     device_utilisation,
     link_occupancy,
+    serving_activity,
     utilisation_report,
 )
 
@@ -51,6 +53,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramSnapshot",
     "MetricsRegistry",
     "TracerClock",
     "ObsSession",
@@ -59,5 +62,6 @@ __all__ = [
     "device_failures",
     "device_utilisation",
     "link_occupancy",
+    "serving_activity",
     "utilisation_report",
 ]

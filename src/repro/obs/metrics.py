@@ -101,8 +101,50 @@ class Gauge:
         return f"<Gauge {self.name}={self.last}>"
 
 
+class HistogramSnapshot:
+    """Frozen copy of a histogram's observations at one instant.
+
+    Supports the same read-side queries as :class:`Histogram` but
+    never changes afterwards, so two snapshots bracket a window.
+    """
+
+    def __init__(self, name: str, observations: tuple[float, ...]) -> None:
+        self.name = name
+        self.observations = observations
+
+    @property
+    def count(self) -> int:
+        """Number of observations in the snapshot."""
+        return len(self.observations)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the snapshot's observations."""
+        if not self.observations:
+            raise ObservabilityError(
+                f"snapshot of {self.name!r} has no observations")
+        return float(np.mean(self.observations))
+
+    def percentile(self, q: float) -> float:
+        """Observation percentile, ``q`` in [0, 100]."""
+        if not self.observations:
+            raise ObservabilityError(
+                f"snapshot of {self.name!r} has no observations")
+        return float(np.percentile(self.observations, q))
+
+    def __repr__(self) -> str:
+        return f"<HistogramSnapshot {self.name} n={self.count}>"
+
+
 class Histogram:
-    """Raw-observation histogram with percentile queries."""
+    """Raw-observation histogram with percentile queries.
+
+    Cumulative by default: observations accumulate for the life of
+    the session.  For steady-state measurement windows, ``snapshot()``
+    freezes the current contents and ``reset()`` discards them — e.g.
+    reset at the end of a warm-up transient so the percentiles
+    describe only the steady state.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -111,6 +153,17 @@ class Histogram:
     def observe(self, value: float) -> None:
         """Record one observation."""
         self.observations.append(float(value))
+
+    def snapshot(self) -> HistogramSnapshot:
+        """Frozen copy of the observations recorded so far."""
+        return HistogramSnapshot(self.name, tuple(self.observations))
+
+    def reset(self) -> HistogramSnapshot:
+        """Discard all observations, returning a snapshot of what was
+        dropped (so a caller can still report the warm-up window)."""
+        snap = self.snapshot()
+        self.observations.clear()
+        return snap
 
     @property
     def count(self) -> int:

@@ -78,6 +78,27 @@ def device_failures(session: ObsSession
             for s in marks]
 
 
+#: Serving-layer counters in display order (the rest follow sorted).
+_SERVE_COUNTER_ORDER = ("serve.offered", "serve.completed",
+                        "serve.shed", "serve.rejected",
+                        "serve.timed_out", "serve.abandoned",
+                        "serve.batches", "serve.redirects")
+
+
+def serving_activity(session: ObsSession) -> dict[str, float]:
+    """Serving-layer (``serve.*``) counters, in display order.
+
+    Empty when no :class:`~repro.serve.server.InferenceServer` run was
+    recorded in this session.
+    """
+    values = {c.name: c.value for c in session.metrics.counters()
+              if c.name.startswith("serve.") and c.value}
+    ordered = {name: values.pop(name)
+               for name in _SERVE_COUNTER_ORDER if name in values}
+    ordered.update(sorted(values.items()))
+    return ordered
+
+
 def link_occupancy(session: ObsSession,
                    wall_seconds: Optional[float] = None
                    ) -> dict[str, float]:
@@ -130,6 +151,13 @@ def utilisation_report(session: ObsSession,
             lines.append(
                 f"  {f['device']:<12} {f['time'] * 1000:>9.3f} "
                 f"{f['kind']:>8}  {f['detail']}")
+
+    serving = serving_activity(session)
+    if serving:
+        lines.append("")
+        lines.append(f"  {'serving':<28} {'requests':>10}")
+        for name, value in serving.items():
+            lines.append(f"  {name:<28} {value:>10.0f}")
 
     links = link_occupancy(session, wall)
     if links:

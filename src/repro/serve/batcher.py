@@ -1,0 +1,135 @@
+"""Dynamic batcher: max-batch-size + max-wait, Triton-style.
+
+The serving layer's throughput/latency dial.  The batcher drains the
+admission queue and forms batches under two limits: a size cap and a
+wait cap measured from the first request in the window.  A batch is
+dispatched as soon as either limit is hit, so an idle system serves
+single requests at minimum latency while a busy one amortises
+per-batch overheads.
+
+The size cap is backend-aware: the VPU path peaks at batch ≈ number
+of sticks (the multi-VPU scheduler deals one image per stick, so a
+bigger batch only queues behind itself), while the CPU/GPU Caffe
+paths genuinely gain from larger batches (MKL/cuDNN amortisation,
+paper Fig. 6b).  The batcher therefore asks the router *which backend
+comes next* and sizes the window to that backend's
+``preferred_batch_size``, unless an explicit ``max_batch_size``
+overrides it.
+
+Per-request deadlines are enforced here, at dequeue time: a request
+whose queue deadline has already expired is resolved ``timed_out``
+and never occupies a batch slot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.errors import FrameworkError
+from repro.serve.queue import AdmissionQueue
+from repro.serve.router import Router
+from repro.serve.workload import TIMED_OUT, Request
+from repro.sim.core import Environment, Event
+
+
+class DynamicBatcher:
+    """Forms batches from the queue and hands them to the router."""
+
+    def __init__(self, env: Environment, queue: AdmissionQueue,
+                 router: Router,
+                 max_batch_size: Optional[int] = None,
+                 max_wait_s: float = 0.002,
+                 on_timeout: Optional[Callable[[Request], None]] = None
+                 ) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise FrameworkError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_s < 0:
+            raise FrameworkError(
+                f"max_wait_s must be >= 0, got {max_wait_s}")
+        self.env = env
+        self.queue = queue
+        self.router = router
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.on_timeout = on_timeout
+        self.timed_out_count = 0
+        self.batches_formed = 0
+
+    def run(self) -> Event:
+        """Start the batcher process; completes at the poison pill."""
+        return self.env.process(self._run())
+
+    def _batch_cap(self) -> int:
+        """Size cap for the next window (explicit or backend hint)."""
+        if self.max_batch_size is not None:
+            return self.max_batch_size
+        backend = self.router.peek_next()
+        if backend is None:
+            return 1  # no live backend; batch shape is moot
+        return backend.preferred_batch_size
+
+    def _take(self, item: Optional[Request]) -> Optional[Request]:
+        """Stamp a dequeued request, enforcing its queue deadline."""
+        if item is None:
+            return None
+        item.dequeued_at = self.env.now
+        if (item.deadline_at is not None
+                and self.env.now > item.deadline_at):
+            self.timed_out_count += 1
+            item.status = TIMED_OUT
+            obs = self.env.obs
+            if obs is not None:
+                obs.metrics.counter("serve.timed_out").inc()
+                obs.tracer.instant("request_timed_out", track="serve",
+                                   request=item.request_id)
+            if self.on_timeout is not None:
+                self.on_timeout(item)
+            return None
+        return item
+
+    def _run(self) -> Generator[Event, None, None]:
+        obs = self.env.obs
+        while True:
+            first: Optional[Request] = None
+            while first is None:
+                item = yield self.queue.get()
+                if item is None:
+                    return  # poison pill: workload drained
+                first = self._take(item)
+            cap = self._batch_cap()
+            batch = [first]
+            span = None
+            if obs is not None:
+                span = obs.tracer.begin("form_batch",
+                                        track="serve/batcher",
+                                        first=first.request_id)
+            window = self.env.timeout(self.max_wait_s)
+            closed = False
+            while len(batch) < cap:
+                get_ev = self.queue.get()
+                yield self.env.any_of([get_ev, window])
+                if not get_ev.triggered:
+                    # Window expired first: withdraw the pending get
+                    # so it cannot swallow a later request unseen.
+                    self.queue.cancel(get_ev)
+                    break
+                item = get_ev.value
+                if item is None:
+                    closed = True  # pill inside a window: flush + stop
+                    break
+                taken = self._take(item)
+                if taken is not None:
+                    batch.append(taken)
+            self.batches_formed += 1
+            if obs is not None:
+                obs.tracer.end(span)
+                obs.metrics.histogram("serve.batch_size").observe(
+                    len(batch))
+            # Yield the dispatch: when every backend's slots are full
+            # this is where the batcher stalls, so overload backlog
+            # builds in the admission queue (whose policy handles it)
+            # rather than in an unbounded per-backend buffer.
+            yield self.router.dispatch(batch)
+            if closed:
+                return

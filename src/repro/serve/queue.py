@@ -1,0 +1,161 @@
+"""Bounded admission queue with configurable overload policies.
+
+An open-loop server cannot make arrivals wait for capacity — requests
+keep coming whether or not the backends keep up — so the admission
+queue is where overload policy lives.  Three policies cover the
+standard trade-offs:
+
+* ``block`` — classic backpressure: the queue is a bounded buffer and
+  admission waits for room.  Nothing is lost, but latency under
+  sustained overload grows without bound (the client "hangs").
+* ``shed-oldest`` — evict the oldest queued request to admit the new
+  one.  Keeps the queue fresh (the newest requests are the ones whose
+  deadlines are still winnable) at the cost of wasted earlier work.
+* ``reject-newest`` — turn the new request away at the door when the
+  queue is full.  Cheapest failure mode: rejected requests consumed
+  no queue time at all.
+
+Shed and rejected requests are resolved immediately with their
+terminal status; per-request deadlines are enforced downstream by the
+batcher at dequeue time (a request that expired while queued is
+counted ``timed_out``, not served).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import FrameworkError
+from repro.serve.workload import REJECTED, SHED, Request
+from repro.sim.core import Environment, Event
+from repro.sim.resources import Store, StoreGet
+
+#: Admission policies.
+BLOCK = "block"
+SHED_OLDEST = "shed-oldest"
+REJECT_NEWEST = "reject-newest"
+
+POLICIES = (BLOCK, SHED_OLDEST, REJECT_NEWEST)
+
+
+class AdmissionQueue:
+    """Bounded FIFO of :class:`~repro.serve.workload.Request`.
+
+    ``depth=None`` removes the bound (every request is admitted and
+    the policy never fires).  ``on_drop`` is called once for every
+    request resolved at the queue (shed or rejected), so the server
+    can keep its accounting in one place.
+    """
+
+    def __init__(self, env: Environment,
+                 depth: Optional[int] = None,
+                 policy: str = REJECT_NEWEST,
+                 on_drop: Optional[Callable[[Request], None]] = None
+                 ) -> None:
+        if depth is not None and depth < 1:
+            raise FrameworkError(f"depth must be >= 1, got {depth}")
+        if policy not in POLICIES:
+            raise FrameworkError(
+                f"unknown admission policy {policy!r}; one of "
+                f"{POLICIES}")
+        self.env = env
+        self.depth = depth
+        self.policy = policy
+        self.on_drop = on_drop
+        # The store itself is bounded only under ``block``: the other
+        # policies resolve overload at admission time and must never
+        # stall the arrival clock.
+        self._store = Store(
+            env, capacity=(depth if policy == BLOCK and depth is not None
+                           else float("inf")))
+        self.shed_count = 0
+        self.rejected_count = 0
+
+    def __len__(self) -> int:
+        """Requests currently waiting (excludes the poison pill)."""
+        return sum(1 for item in self._store.items if item is not None)
+
+    @property
+    def full(self) -> bool:
+        """True when the queue is at its bound."""
+        return self.depth is not None and len(self) >= self.depth
+
+    # -- producer side --------------------------------------------------
+    def offer(self, request: Request) -> Optional[Event]:
+        """Admit *request* under the configured policy.
+
+        Returns the pending put event under ``block`` (the caller may
+        wait on it or let it complete in the background — admission
+        is stamped when the put lands), the completed put event when
+        the request was admitted immediately, or ``None`` when the
+        request was turned away (``reject-newest``).
+        """
+        obs = self.env.obs
+        if self.policy == BLOCK:
+            event = self._store.put(request)
+            # Stamp admission when the put actually lands, which under
+            # backpressure can be well after the arrival.
+            event.callbacks.append(
+                lambda _ev, req=request: self._admitted(req))
+            return event
+        if self.full:
+            if self.policy == REJECT_NEWEST:
+                self.rejected_count += 1
+                request.status = REJECTED
+                if obs is not None:
+                    obs.metrics.counter("serve.rejected").inc()
+                    obs.tracer.instant("request_rejected", track="serve",
+                                       request=request.request_id)
+                if self.on_drop is not None:
+                    self.on_drop(request)
+                return None
+            # shed-oldest: evict the head of the line for the newcomer.
+            self._shed_oldest()
+        event = self._store.put(request)
+        self._admitted(request)
+        return event
+
+    def _admitted(self, request: Request) -> None:
+        request.admitted_at = self.env.now
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.gauge("serve.queue_depth").set(len(self))
+
+    def _shed_oldest(self) -> None:
+        items = self._store.items
+        for i, item in enumerate(items):
+            if item is not None:
+                victim = items.pop(i)
+                break
+        else:
+            return  # nothing evictable (races with an in-flight get)
+        self.shed_count += 1
+        victim.status = SHED
+        obs = self.env.obs
+        if obs is not None:
+            obs.metrics.counter("serve.shed").inc()
+            obs.tracer.instant("request_shed", track="serve",
+                               request=victim.request_id)
+        if self.on_drop is not None:
+            self.on_drop(victim)
+
+    # -- consumer side --------------------------------------------------
+    def get(self) -> StoreGet:
+        """Take the next request; event value is the Request (or the
+        ``None`` poison pill once the workload is closed)."""
+        event = self._store.get()
+        event.callbacks.append(self._on_take)
+        return event
+
+    def _on_take(self, event: Event) -> None:
+        obs = self.env.obs
+        if obs is not None and event._ok:
+            obs.metrics.gauge("serve.queue_depth").set(len(self))
+
+    def cancel(self, event: StoreGet) -> None:
+        """Withdraw a pending :meth:`get` (see ``Store.cancel``)."""
+        self._store.cancel(event)
+
+    def close(self) -> Event:
+        """Append the poison pill after all offered work."""
+        return self._store.put(None)

@@ -178,6 +178,30 @@ class Store:
         self._dispatch()  # a blocked getter may now be servable
         return event
 
+    def cancel(self, event: Event) -> None:
+        """Withdraw a pending :meth:`put` or :meth:`get` request.
+
+        A process racing a ``get`` against a timer must cancel the
+        losing ``get``, otherwise the stranded getter silently
+        swallows a later item that nobody will ever read.  Cancelling
+        an already-triggered event is a no-op (its value stands).
+        """
+        if event.triggered:
+            return
+        if isinstance(event, StoreGet):
+            try:
+                self._getters.remove(event)
+            except ValueError:
+                pass
+        elif isinstance(event, StorePut):
+            try:
+                self._putters.remove(event)
+            except ValueError:
+                pass
+        else:
+            raise SimulationError(
+                f"cannot cancel {event!r}: not a store put/get")
+
     # -- internals ----------------------------------------------------------
     def _dispatch(self) -> None:
         progress = True

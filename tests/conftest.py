@@ -46,3 +46,30 @@ def chaos_run(chaos_graph):
                       batch_size=batch if batch else images)
 
     return _run
+
+
+@pytest.fixture
+def serve_run(chaos_graph):
+    """Factory for one open-loop serving run over micro-graph sticks.
+
+    ``serve_run(rate=..., requests=..., devices=..., **server_kwargs)``
+    -> :class:`~repro.serve.slo.ServeResult`.  Pass ``workload=`` to
+    override the default seeded Poisson process, or ``fault_plan=`` /
+    ``call_timeout=`` to arm chaos against the sticks.
+    """
+    from repro.ncsw import IntelVPU
+    from repro.serve import InferenceServer, PoissonWorkload
+
+    def _run(*, requests=40, devices=2, rate=100.0, seed=0,
+             workload=None, fault_plan=None, call_timeout=None,
+             extra_targets=None, **server_kwargs):
+        server = InferenceServer(**server_kwargs)
+        server.add_target("vpu", IntelVPU(
+            graph=chaos_graph, num_devices=devices, functional=False,
+            fault_plan=fault_plan, call_timeout=call_timeout))
+        for name, target in (extra_targets or {}).items():
+            server.add_target(name, target)
+        wl = workload or PoissonWorkload(rate, seed=seed)
+        return server.run(wl, requests)
+
+    return _run

@@ -126,3 +126,73 @@ def test_audit_command(capsys):
     assert "claims verified" in out
     assert "vpu-single-latency" in out
     assert " NO" not in out
+
+
+def test_list_mentions_serve_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "serve-run" in out and "serve-sweep" in out
+
+
+def test_serve_run_command_renders_report(capsys):
+    assert main(["serve-run", "--backends", "vpu4", "--requests", "24",
+                 "--rate", "20", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "serve report" in out
+    assert "workload       : poisson @ 20 req/s (seed 3)" in out
+    assert "completed      : 24 (100.0%)" in out
+    assert "SLO p99 <=" in out
+    assert "goodput" in out
+
+
+def test_serve_run_is_deterministic(capsys):
+    args = ["serve-run", "--backends", "vpu2", "--requests", "16",
+            "--rate", "10", "--seed", "5"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_serve_run_bursty_workload(capsys):
+    assert main(["serve-run", "--backends", "vpu4", "--requests", "24",
+                 "--workload", "bursty", "--rate", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "bursty" in out
+
+
+def test_serve_run_kill_stick_degrades(capsys):
+    assert main(["serve-run", "--backends", "vpu2", "--requests", "40",
+                 "--rate", "15", "--kill-stick", "0",
+                 "--kill-at", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline:" in out
+    assert "chaos: kill stick 0" in out
+    assert "device failures: ncs0" in out
+
+
+def test_serve_run_validation(capsys):
+    assert main(["serve-run", "--backends", "tpu9"]) == 2
+    assert "unknown token" in capsys.readouterr().out
+    assert main(["serve-run", "--kill-stick", "0",
+                 "--kill-at", "1.5"]) == 2
+    assert main(["serve-run", "--workload", "replay"]) == 2
+
+
+def test_serve_run_replay_trace(tmp_path, capsys):
+    trace = tmp_path / "arrivals.txt"
+    trace.write_text("".join(f"{0.2 * i:.3f}\n" for i in range(12)))
+    assert main(["serve-run", "--backends", "vpu2",
+                 "--workload", "replay", "--replay", str(trace),
+                 "--requests", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "trace replay (12 arrivals)" in out
+
+
+def test_serve_sweep_scales_with_sticks(capsys):
+    assert main(["serve-sweep", "--configs", "vpu1,vpu2",
+                 "--steps", "2", "--requests", "24"]) == 0
+    out = capsys.readouterr().out
+    assert "load sweep" in out
+    assert "vpu1" in out and "vpu2" in out
+    assert "1.00x" in out

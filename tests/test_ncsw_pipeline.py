@@ -95,8 +95,10 @@ def test_result_summary_and_guards(micro_graph):
     empty = PipelineResult(frames_offered=0, frames_processed=0,
                            frames_dropped=0, wall_seconds=1.0)
     assert empty.drop_rate == 0.0
-    with pytest.raises(FrameworkError):
+    with pytest.raises(ValueError):
         empty.latency_percentile(50)
+    with pytest.raises(ValueError):
+        _ = empty.mean_latency
     zero_time = PipelineResult(frames_offered=1, frames_processed=1,
                                frames_dropped=0, wall_seconds=0.0,
                                latencies=[0.01])
@@ -179,3 +181,95 @@ def test_run_validation(micro_graph):
 
     with pytest.raises(FrameworkError):
         env.run(until=env.process(scenario()))
+
+def _stream_policy(micro_graph, admission, fps=3000, frames=150,
+                   queue_depth=2):
+    env = Environment()
+    topo = paper_testbed_topology(env, num_devices=1)
+    api = NCAPI(env, topo, functional=False)
+
+    def scenario():
+        dev = yield api.open_device(0)
+        g = yield dev.allocate_compiled(micro_graph)
+        pipeline = StreamingPipeline(
+            env, [g], fps=fps, queue_depth=queue_depth,
+            admission=admission)
+        result = yield pipeline.run(frames)
+        return result
+
+    return env.run(until=env.process(scenario()))
+
+
+def test_admission_policy_validation(micro_graph):
+    env = Environment()
+    with pytest.raises(FrameworkError):
+        StreamingPipeline(env, [object()], fps=30,  # type: ignore
+                          admission="drop-all")
+
+
+def test_block_admission_backpressures_instead_of_dropping(
+        micro_graph):
+    from repro.ncsw.pipeline import BLOCK
+
+    result = _stream_policy(micro_graph, BLOCK)
+    # Backpressure loses nothing, even at 8x the stick's capacity...
+    assert result.frames_dropped == 0
+    assert result.frames_processed == 150
+    # ...but the producer stalls, so the offered rate collapses to
+    # the service rate and latency is bounded by the short queue.
+    assert result.sustained_fps == pytest.approx(
+        1 / micro_graph.inference_seconds, rel=0.25)
+
+
+def test_shed_oldest_admission_drops_but_accounts(micro_graph):
+    from repro.ncsw.pipeline import SHED_OLDEST
+
+    result = _stream_policy(micro_graph, SHED_OLDEST)
+    assert result.frames_dropped > 0
+    assert (result.frames_processed + result.frames_dropped
+            + result.frames_abandoned) == 150
+    assert result.drop_rate > 0.5
+
+
+def test_lossy_policies_agree_on_drop_volume(micro_graph):
+    # Same offered load, same capacity: which frames are lost differs
+    # (head vs tail of the queue), but how many cannot.
+    from repro.ncsw.pipeline import REJECT_NEWEST, SHED_OLDEST
+
+    rej = _stream_policy(micro_graph, REJECT_NEWEST)
+    shed = _stream_policy(micro_graph, SHED_OLDEST)
+    assert rej.frames_dropped == pytest.approx(
+        shed.frames_dropped, abs=3)
+
+
+def test_block_admission_survives_total_device_loss(micro_graph):
+    # The producer must not deadlock waiting for space when every
+    # worker has died: the run drains and the leftovers are abandoned.
+    from repro.ncsw.pipeline import BLOCK
+
+    env = Environment()
+    topo = paper_testbed_topology(env, num_devices=1)
+    api = NCAPI(env, topo, functional=False)
+
+    def scenario():
+        dev = yield api.open_device(0)
+        g = yield dev.allocate_compiled(micro_graph)
+        for d in api.devices:
+            d.enable_fault_hooks()
+
+        def killer():
+            yield env.timeout(0.02)
+            api.devices[0].inject_death()
+
+        env.process(killer())
+        pipeline = StreamingPipeline(
+            env, [g], fps=300, queue_depth=1, admission=BLOCK,
+            fault_tolerant=True, call_timeout=0.05)
+        result = yield pipeline.run(60)
+        return result
+
+    result = env.run(until=env.process(scenario()))
+    assert result.degraded
+    assert result.frames_abandoned > 0
+    assert (result.frames_processed + result.frames_dropped
+            + result.frames_abandoned) == 60

@@ -384,3 +384,70 @@ def test_session_energy_accumulates_across_runs(micro_graph):
     e2 = session.energy_joules("ncs0")
     assert 0.0 < e1 < e2
     assert session.energy_joules("nonexistent") == 0.0
+
+def test_histogram_snapshot_freezes_a_window():
+    h = Histogram("lat")
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    snap = h.snapshot()
+    h.observe(100.0)
+    # The snapshot is immune to later observations...
+    assert snap.count == 3
+    assert snap.mean == pytest.approx(2.0)
+    assert snap.percentile(50) == pytest.approx(2.0)
+    # ...while the live histogram keeps accumulating.
+    assert h.count == 4
+    assert "n=3" in repr(snap)
+
+
+def test_histogram_reset_returns_the_dropped_window():
+    h = Histogram("lat")
+    for v in (5.0, 7.0):
+        h.observe(v)
+    warmup = h.reset()
+    assert warmup.count == 2
+    assert warmup.mean == pytest.approx(6.0)
+    assert h.count == 0
+    h.observe(1.0)
+    assert h.p50 == pytest.approx(1.0)  # steady state only
+    empty = Histogram("none").snapshot()
+    assert empty.count == 0
+    with pytest.raises(ObservabilityError):
+        empty.percentile(50)
+    with pytest.raises(ObservabilityError):
+        _ = empty.mean
+
+
+def test_serving_activity_orders_serve_counters():
+    from repro.obs import serving_activity
+
+    session = ObsSession()
+    session.metrics.counter("serve.completed").inc(10)
+    session.metrics.counter("serve.offered").inc(12)
+    session.metrics.counter("serve.rejected").inc(2)
+    session.metrics.counter("serve.zz_custom").inc(1)
+    session.metrics.counter("other.counter").inc(5)
+    session.metrics.counter("serve.shed")  # zero: excluded
+    activity = serving_activity(session)
+    assert list(activity) == ["serve.offered", "serve.completed",
+                              "serve.rejected", "serve.zz_custom"]
+    assert activity["serve.offered"] == 12
+    assert "other.counter" not in activity
+
+
+def test_utilisation_report_includes_serving_section(chaos_graph):
+    from repro.ncsw import IntelVPU
+    from repro.serve import InferenceServer, PoissonWorkload
+
+    session = ObsSession()
+    server = InferenceServer(obs=session, slo_seconds=0.050)
+    server.add_target("vpu", IntelVPU(graph=chaos_graph,
+                                      num_devices=2,
+                                      functional=False))
+    result = server.run(PoissonWorkload(200.0, seed=1), 40)
+    assert result.completed == 40
+    text = utilisation_report(session)
+    assert "serving" in text
+    assert "serve.offered" in text and "serve.completed" in text
+    assert "serve.e2e_seconds" in text  # histogram table
+    assert "ncs0" in text and "ncs1" in text

@@ -1,0 +1,228 @@
+"""End-to-end serving tests: InferenceServer over simulated sticks.
+
+Everything here runs against the compiled googlenet-micro graph
+(session fixture), so a full open-loop run costs milliseconds.  The
+acceptance properties pinned down: deterministic seeded reports,
+airtight terminal accounting under every admission policy, batch-1
+latency parity with the batch framework's single-input path, load
+scaling with stick count, and graceful degradation when sticks die
+mid-run.
+"""
+
+import pytest
+
+from repro.errors import FrameworkError
+from repro.ncsw import IntelVPU, NCSw, SyntheticSource
+from repro.ncsw.faults import FaultPlan
+from repro.serve import (
+    BLOCK,
+    LEAST_OUTSTANDING,
+    REJECT_NEWEST,
+    SHED_OLDEST,
+    InferenceServer,
+    PoissonWorkload,
+    find_max_rate,
+    render_slo_report,
+)
+
+
+def _assert_accounted(result):
+    assert (result.completed + result.shed + result.rejected
+            + result.timed_out + result.abandoned) == result.offered
+
+
+# -- validation -------------------------------------------------------------
+
+def test_server_validation(chaos_graph):
+    with pytest.raises(FrameworkError):
+        InferenceServer(admission="fifo")
+    with pytest.raises(FrameworkError):
+        InferenceServer(slo_seconds=0.0)
+    with pytest.raises(FrameworkError):
+        InferenceServer(warmup=-1)
+    server = InferenceServer()
+    with pytest.raises(FrameworkError):
+        server.run(PoissonWorkload(10.0), 4)  # no targets
+    server.add_target("vpu", IntelVPU(graph=chaos_graph,
+                                      num_devices=1,
+                                      functional=False))
+    with pytest.raises(FrameworkError):
+        server.add_target("vpu", IntelVPU(graph=chaos_graph,
+                                          num_devices=1,
+                                          functional=False))
+
+
+# -- determinism ------------------------------------------------------------
+
+def test_seeded_run_is_byte_identical(serve_run):
+    reports = []
+    for _ in range(2):
+        result = serve_run(requests=60, devices=2, rate=400.0,
+                           seed=42, slo_seconds=0.050)
+        reports.append(render_slo_report(result, workload="poisson"))
+    assert reports[0] == reports[1]
+
+
+def test_different_seeds_change_the_run(serve_run):
+    a = serve_run(requests=60, devices=2, rate=400.0, seed=0)
+    b = serve_run(requests=60, devices=2, rate=400.0, seed=1)
+    assert a.wall_seconds != b.wall_seconds
+
+
+# -- the happy path ---------------------------------------------------------
+
+def test_underloaded_run_completes_everything(serve_run):
+    # Two sticks sustain ~1000 req/s on the micro graph; offer 100.
+    result = serve_run(requests=80, devices=2, rate=100.0,
+                       slo_seconds=0.050)
+    _assert_accounted(result)
+    assert result.completed == result.offered == 80
+    assert result.slo_met
+    assert result.loss_rate == 0.0
+    assert result.prepare_seconds > 0  # stick boot precedes serving
+    assert result.goodput == pytest.approx(result.throughput)
+
+
+def test_batch_one_latency_matches_single_input_path(chaos_graph):
+    """Serving adds bookkeeping, not simulated time: an idle server
+    with batch size 1 must service a request in exactly the batch
+    framework's single-input inference latency."""
+    fw = NCSw()
+    fw.add_source("synth", SyntheticSource(4))
+    fw.add_target("vpu", IntelVPU(graph=chaos_graph, num_devices=1,
+                                  functional=False))
+    run = fw.run("synth", "vpu", batch_size=1)
+    framework_latency = run.records[0].latency
+
+    server = InferenceServer(max_batch_size=1, queue_depth=None,
+                             slo_seconds=None)
+    server.add_target("vpu", IntelVPU(graph=chaos_graph,
+                                      num_devices=1,
+                                      functional=False))
+    # 4 req/s against a ~2 ms service time: the server is idle at
+    # every arrival, so no queueing or batching delay pollutes it.
+    result = server.run(PoissonWorkload(4.0, seed=0), 8)
+    assert result.completed == 8
+    for req in result.completed_requests():
+        assert req.service_seconds == pytest.approx(
+            framework_latency, rel=1e-9)
+
+
+# -- overload and admission policies ----------------------------------------
+
+@pytest.mark.parametrize("policy", [REJECT_NEWEST, SHED_OLDEST])
+def test_overload_drops_under_lossy_policies(serve_run, policy):
+    # ~4x capacity of one stick: the bounded queue must turn work
+    # away, and every request still resolves exactly once.
+    result = serve_run(requests=300, devices=1, rate=2000.0,
+                       queue_depth=4, admission=policy,
+                       slo_seconds=0.050)
+    _assert_accounted(result)
+    dropped = result.shed if policy == SHED_OLDEST else result.rejected
+    assert dropped > 0
+    assert result.completed > 0
+    assert not result.slo_met
+    assert result.loss_rate > 0.3
+
+
+def test_overload_block_policy_completes_all_with_high_latency(
+        serve_run):
+    result = serve_run(requests=300, devices=1, rate=2000.0,
+                       queue_depth=4, admission=BLOCK,
+                       slo_seconds=0.050)
+    _assert_accounted(result)
+    assert result.completed == 300  # backpressure loses nothing
+    assert result.shed == result.rejected == 0
+    assert not result.slo_met  # ...but latency pays for it
+    assert result.p99 > 0.050
+
+
+def test_deadlines_expire_in_a_backlogged_queue(serve_run):
+    result = serve_run(requests=200, devices=1, rate=2000.0,
+                       queue_depth=64, deadline_seconds=0.020,
+                       slo_seconds=0.050)
+    _assert_accounted(result)
+    assert result.timed_out > 0
+    assert result.completed > 0
+
+
+def test_warmup_trims_latency_statistics(serve_run):
+    full = serve_run(requests=100, devices=2, rate=300.0, seed=9)
+    trimmed = serve_run(requests=100, devices=2, rate=300.0, seed=9,
+                        warmup=20)
+    assert trimmed.warmup == 20
+    assert len(trimmed.e2e_latencies()) == len(full.e2e_latencies()) - 20
+
+
+# -- multi-backend routing --------------------------------------------------
+
+def test_least_outstanding_spreads_across_backends(chaos_graph,
+                                                   serve_run):
+    result = serve_run(
+        requests=200, devices=1, rate=1500.0,
+        policy=LEAST_OUTSTANDING, queue_depth=None,
+        extra_targets={"vpu-b": IntelVPU(graph=chaos_graph,
+                                         num_devices=1,
+                                         functional=False)})
+    _assert_accounted(result)
+    assert result.completed == 200
+    counts = result.per_backend_counts()
+    assert set(counts) == {"vpu", "vpu-b"}
+    # Load-aware routing keeps both backends meaningfully busy.
+    assert min(counts.values()) > 40
+
+
+# -- fault tolerance --------------------------------------------------------
+
+def test_stick_death_degrades_but_accounts_everything(serve_run):
+    # Healthy baseline to locate the serving window on the sim clock.
+    base = serve_run(requests=200, devices=2, rate=800.0,
+                     slo_seconds=0.050)
+    assert not base.degraded
+    kill_at = base.prepare_seconds + 0.3 * base.wall_seconds
+
+    result = serve_run(requests=200, devices=2, rate=800.0,
+                       slo_seconds=0.050,
+                       fault_plan=FaultPlan.kill(0, kill_at),
+                       call_timeout=0.05)
+    _assert_accounted(result)
+    assert result.degraded
+    assert result.failures and result.failures[0].device == "ncs0"
+    assert result.completed > 0
+    # One stick down halves capacity: the run takes longer.
+    assert result.wall_seconds > base.wall_seconds
+
+
+def test_all_sticks_dead_abandons_the_tail(serve_run):
+    from repro.ncsw.faults import DeviceFault
+
+    base = serve_run(requests=120, devices=2, rate=800.0)
+    kill_at = base.prepare_seconds + 0.3 * base.wall_seconds
+    plan = FaultPlan([DeviceFault(device_index=0, at=kill_at),
+                      DeviceFault(device_index=1, at=kill_at + 1e-4)])
+
+    result = serve_run(requests=120, devices=2, rate=800.0,
+                       fault_plan=plan, call_timeout=0.05,
+                       queue_depth=None)
+    _assert_accounted(result)
+    assert result.degraded
+    assert result.abandoned > 0
+    assert result.completed > 0  # work done before the deaths
+
+
+# -- load sweep -------------------------------------------------------------
+
+def test_sweep_max_rate_grows_with_stick_count(serve_run):
+    def sweep(devices):
+        def run_at(rate):
+            return serve_run(requests=100, devices=devices,
+                             rate=rate, slo_seconds=0.050)
+
+        return find_max_rate(run_at, slo_seconds=0.050, hi=1200.0,
+                             steps=5, label=f"vpu{devices}")
+
+    one = sweep(1)
+    four = sweep(4)
+    assert one.max_rate > 100.0
+    # Near-linear scaling, with loose bands for queueing noise.
+    assert four.max_rate > 2.5 * one.max_rate

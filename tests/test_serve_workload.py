@@ -1,0 +1,188 @@
+"""Tests for the open-loop workload generators (repro.serve.workload)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameworkError
+from repro.serve import (
+    BurstyWorkload,
+    DiurnalWorkload,
+    PoissonWorkload,
+    Request,
+    TraceWorkload,
+)
+
+ALL_SEEDED = [
+    PoissonWorkload(50.0, seed=7),
+    BurstyWorkload(10.0, 200.0, seed=7),
+    DiurnalWorkload(80.0, period_s=5.0, seed=7),
+]
+
+
+# -- determinism contract ---------------------------------------------------
+
+@pytest.mark.parametrize("workload", ALL_SEEDED,
+                         ids=lambda w: w.name)
+def test_same_seed_reproduces_arrivals_exactly(workload):
+    a = workload.arrival_times(200)
+    b = type(workload)(**{
+        "poisson": dict(rate=50.0, seed=7),
+        "bursty": dict(base_rate=10.0, burst_rate=200.0, seed=7),
+        "diurnal": dict(peak_rate=80.0, period_s=5.0, seed=7),
+    }[workload.name]).arrival_times(200)
+    assert a == b  # byte-identical, not approx
+
+
+@pytest.mark.parametrize("workload", ALL_SEEDED,
+                         ids=lambda w: w.name)
+def test_arrivals_positive_and_nondecreasing(workload):
+    times = workload.arrival_times(300)
+    assert len(times) == 300
+    assert all(t > 0 for t in times)
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+def test_different_seeds_differ():
+    a = PoissonWorkload(50.0, seed=0).arrival_times(50)
+    b = PoissonWorkload(50.0, seed=1).arrival_times(50)
+    assert a != b
+
+
+def test_poisson_mean_rate_roughly_right():
+    times = PoissonWorkload(100.0, seed=3).arrival_times(2000)
+    assert 2000 / times[-1] == pytest.approx(100.0, rel=0.1)
+
+
+def test_poisson_validation():
+    with pytest.raises(FrameworkError):
+        PoissonWorkload(0.0)
+    with pytest.raises(FrameworkError):
+        PoissonWorkload(-5.0)
+
+
+# -- bursty (MMPP-2) --------------------------------------------------------
+
+def test_bursty_validation():
+    with pytest.raises(FrameworkError):
+        BurstyWorkload(0.0, 10.0)
+    with pytest.raises(FrameworkError):
+        BurstyWorkload(10.0, 10.0)  # burst must exceed base
+    with pytest.raises(FrameworkError):
+        BurstyWorkload(10.0, 100.0, mean_quiet_s=0.0)
+
+
+def test_bursty_mean_rate_is_dwell_weighted():
+    wl = BurstyWorkload(10.0, 100.0, mean_quiet_s=2.0,
+                        mean_burst_s=0.5)
+    assert wl.mean_rate == pytest.approx(
+        (10.0 * 2.0 + 100.0 * 0.5) / 2.5)
+
+
+def test_bursty_has_burstier_gaps_than_poisson():
+    # Squared coefficient of variation of inter-arrival gaps: 1 for
+    # Poisson, substantially above 1 for an MMPP with a hot state.
+    bursty = BurstyWorkload(5.0, 500.0, mean_quiet_s=1.0,
+                            mean_burst_s=0.2, seed=11)
+    gaps = np.diff(bursty.arrival_times(2000))
+    cv2 = np.var(gaps) / np.mean(gaps) ** 2
+    assert cv2 > 2.0
+
+
+# -- diurnal ----------------------------------------------------------------
+
+def test_diurnal_rate_profile():
+    wl = DiurnalWorkload(100.0, period_s=10.0, floor_frac=0.1)
+    assert wl.rate_at(0.0) == pytest.approx(10.0)      # trough
+    assert wl.rate_at(5.0) == pytest.approx(100.0)     # mid-period peak
+    assert wl.rate_at(10.0) == pytest.approx(10.0)     # next trough
+    with pytest.raises(FrameworkError):
+        DiurnalWorkload(100.0, floor_frac=0.0)
+    with pytest.raises(FrameworkError):
+        DiurnalWorkload(100.0, period_s=-1.0)
+
+
+def test_diurnal_arrivals_track_the_ramp():
+    wl = DiurnalWorkload(200.0, period_s=10.0, floor_frac=0.05,
+                         seed=5)
+    times = [t for t in wl.arrival_times(2000) if t < 10.0]
+    trough = sum(1 for t in times if t < 2.0 or t > 8.0)
+    peak = sum(1 for t in times if 3.0 < t < 7.0)
+    assert peak > 3 * trough
+
+
+# -- trace replay -----------------------------------------------------------
+
+def test_trace_validation():
+    with pytest.raises(FrameworkError):
+        TraceWorkload([])
+    with pytest.raises(FrameworkError):
+        TraceWorkload([0.1, -0.2])
+    with pytest.raises(FrameworkError):
+        TraceWorkload([0.3, 0.1])  # decreasing
+
+
+def test_trace_replay_and_exhaustion():
+    wl = TraceWorkload([0.0, 0.5, 1.0])
+    assert wl.arrival_times(2) == [0.0, 0.5]
+    with pytest.raises(FrameworkError):
+        wl.arrival_times(4)
+    assert "3 arrivals" in wl.describe()
+
+
+def test_trace_from_file(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# recorded arrivals\n0.1\n\n0.25\n0.9\n")
+    wl = TraceWorkload.from_file(path)
+    assert wl.arrival_times(3) == [0.1, 0.25, 0.9]
+    empty = tmp_path / "empty.txt"
+    empty.write_text("# nothing\n")
+    with pytest.raises(FrameworkError):
+        TraceWorkload.from_file(empty)
+
+
+# -- request materialisation ------------------------------------------------
+
+def test_requests_carry_deadlines_and_payloads():
+    wl = TraceWorkload([0.0, 1.0])
+    payloads = [np.zeros(3, dtype=np.float32),
+                np.ones(3, dtype=np.float32)]
+    reqs = wl.requests(2, deadline_s=0.5, payloads=payloads)
+    assert [r.request_id for r in reqs] == [0, 1]
+    assert reqs[0].deadline_at == pytest.approx(0.5)
+    assert reqs[1].deadline_at == pytest.approx(1.5)
+    np.testing.assert_array_equal(reqs[1].tensor, payloads[1])
+    no_deadline = wl.requests(2)
+    assert all(r.deadline_at is None for r in no_deadline)
+
+
+def test_requests_validation():
+    wl = TraceWorkload([0.0, 1.0])
+    with pytest.raises(FrameworkError):
+        wl.requests(0)
+    with pytest.raises(FrameworkError):
+        wl.requests(1, deadline_s=0.0)
+    with pytest.raises(FrameworkError):
+        wl.requests(2, payloads=[None])  # payload source too short
+
+
+def test_request_stage_properties():
+    req = Request(request_id=0, arrival_time=1.0)
+    assert req.queue_wait is None
+    assert req.batch_wait is None
+    assert req.service_seconds is None
+    assert req.e2e_latency is None
+    req.admitted_at = 1.0
+    req.dequeued_at = 1.2
+    req.dispatched_at = 1.3
+    req.completed_at = 1.8
+    assert req.queue_wait == pytest.approx(0.2)
+    assert req.batch_wait == pytest.approx(0.1)
+    assert req.service_seconds == pytest.approx(0.5)
+    assert req.e2e_latency == pytest.approx(0.8)
+
+
+def test_describe_lines():
+    assert "poisson" in PoissonWorkload(5.0).describe()
+    assert "seed" in PoissonWorkload(5.0, seed=3).describe()
+    assert "bursty" in BurstyWorkload(1.0, 10.0).describe()
+    assert "diurnal" in DiurnalWorkload(5.0).describe()
