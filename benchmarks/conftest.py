@@ -11,7 +11,15 @@ Scale knobs (environment variables):
   benches: ``smoke`` (default, seconds) or ``default`` (a minute or
   two) or ``paper`` (hours; the honest full geometry).
 * ``REPRO_BENCH_IMAGES`` — timing-only images per measurement
-  (default 160).
+  (default 160; must be a positive integer).
+
+Campaign fan-out: the figure drivers and the ``chaos-run`` /
+``serve-sweep`` CLI commands accept ``--jobs N`` (or the ``jobs=``
+keyword) to spread independent runs across processes.  Results are
+guaranteed identical to the serial run — the flag only buys wall
+clock — so the same knob is safe under a benchmark run; it is kept
+off here by default because per-process timings are what the
+wall-clock suite (``python -m repro perf-run``) measures.
 """
 
 import os
@@ -33,7 +41,17 @@ def repro_scale(request):
 
 @pytest.fixture(scope="session")
 def timing_images():
-    return int(os.environ.get("REPRO_BENCH_IMAGES", "160"))
+    raw = os.environ.get("REPRO_BENCH_IMAGES", "160")
+    try:
+        images = int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_IMAGES={raw!r} is not an integer")
+    if images <= 0:
+        raise pytest.UsageError(
+            f"REPRO_BENCH_IMAGES must be a positive image count, "
+            f"got {images}")
+    return images
 
 
 def emit(text: str) -> None:

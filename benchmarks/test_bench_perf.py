@@ -1,0 +1,57 @@
+"""Wall-clock floors for the PR-4 hot-path overhaul.
+
+These assertions are intentionally *outside* the tier-1 ``tests/``
+run: they compare real wall-clock against the baseline recorded in
+``BENCH_PR4.json`` (rescaled by the host-calibration score), which is
+meaningful on a quiet benchmark machine and noise on a loaded CI
+box.  The tier-1 suite pins behaviour; this file pins speed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import perf
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    path = REPO_ROOT / perf.BENCH_FILENAME
+    if not path.exists():
+        pytest.skip(f"{perf.BENCH_FILENAME} not present")
+    return perf.load_bench(path)
+
+
+def _rescaled_baseline(doc, workload):
+    """Baseline rate for this machine: recorded value x speed ratio.
+
+    Calibration is best-of-3 — interpreter-speed probes are only ever
+    slowed by noise, never sped up, so the max is the estimate.
+    """
+    base = doc["baseline"]["modes"]["full"][workload]["value"]
+    ref_calib = doc["baseline"].get("calibration_ops_per_sec") or 0.0
+    now_calib = max(perf.calibrate_host() for _ in range(3))
+    scale = (now_calib / ref_calib) if ref_calib else 1.0
+    return base * scale
+
+
+def test_sim_kernel_at_least_1_5x_baseline(bench_doc):
+    """The lean DES kernel must hold >=1.5x the recorded pure-Python
+    baseline events/sec on the perf harness's sim workload."""
+    floor = 1.5 * _rescaled_baseline(bench_doc, "sim_events_per_sec")
+    sample = perf.bench_sim(n_items=4000, repeats=5)
+    print(f"\nsim kernel: {sample.value:,.0f} events/s "
+          f"(floor {floor:,.0f})")
+    assert sample.value >= floor
+
+
+def test_forward_at_least_2x_baseline(bench_doc):
+    """Cached im2col + fused GEMM must hold >=2x the recorded FP32
+    forward throughput at batch 8."""
+    floor = 2.0 * _rescaled_baseline(bench_doc, "googlenet_fp32_img_s")
+    sample = perf.bench_forward("fp32", forwards=8, repeats=4)
+    print(f"\nfp32 forward: {sample.value:.1f} img/s "
+          f"(floor {floor:.1f})")
+    assert sample.value >= floor

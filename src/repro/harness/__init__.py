@@ -17,6 +17,7 @@ from repro.harness.experiment import (
     ExperimentScale,
     SCALES,
     get_context,
+    parallel_map,
 )
 from repro.harness.figures import (
     FigureResult,
@@ -37,6 +38,7 @@ __all__ = [
     "ExperimentScale",
     "SCALES",
     "get_context",
+    "parallel_map",
     "FigureResult",
     "Series",
     "fig6a_throughput_per_subset",

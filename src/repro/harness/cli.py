@@ -31,22 +31,23 @@ from repro.harness.tables import render_comparison, render_figure_table
 _FIGURES: dict[str, tuple[str, Callable]] = {
     "fig6a": ("throughput per subset (batch 8)",
               lambda args, obs=None: figures.fig6a_throughput_per_subset(
-                  images_per_subset=args.images, obs=obs)),
+                  images_per_subset=args.images, obs=obs,
+                  jobs=args.jobs)),
     "fig6b": ("normalized scaling vs batch size",
               lambda args, obs=None: figures.fig6b_normalized_scaling(
-                  images=args.images, obs=obs)),
+                  images=args.images, obs=obs, jobs=args.jobs)),
     "fig7a": ("top-1 error per subset (FP32 vs FP16)",
               lambda args, obs=None: figures.fig7a_top1_error(
-                  scale=args.scale, obs=obs)),
+                  scale=args.scale, obs=obs, jobs=args.jobs)),
     "fig7b": ("confidence difference per subset",
               lambda args, obs=None: figures.fig7b_confidence_difference(
-                  scale=args.scale, obs=obs)),
+                  scale=args.scale, obs=obs, jobs=args.jobs)),
     "fig8a": ("throughput per Watt",
               lambda args, obs=None: figures.fig8a_throughput_per_watt(
-                  images=args.images, obs=obs)),
+                  images=args.images, obs=obs, jobs=args.jobs)),
     "fig8b": ("projected throughput to 16 VPUs",
               lambda args, obs=None: figures.fig8b_projected_throughput(
-                  images=args.images, obs=obs)),
+                  images=args.images, obs=obs, jobs=args.jobs)),
 }
 
 
@@ -99,6 +100,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  chaos-run    seeded fault-injection sweep (kill stick k)")
     print("  serve-run    open-loop serving run with an SLO report")
     print("  serve-sweep  max sustainable arrival rate per config")
+    print("  perf-run     wall-clock perf suite (BENCH_PR4.json gate)")
     return 0
 
 
@@ -133,7 +135,7 @@ def _cmd_headline(args: argparse.Namespace) -> int:
     scale = None if args.scale in (None, "none") else args.scale
     obs = _obs_from_args(args)
     rows = figures.headline_table(images=args.images, error_scale=scale,
-                                  obs=obs)
+                                  obs=obs, jobs=args.jobs)
     print(render_comparison(rows, title="headline: paper vs measured"))
     _finish_trace(args, obs)
     return 0
@@ -161,7 +163,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print("=" * 72)
     scale = None if args.scale in (None, "none") else args.scale
     rows = figures.headline_table(images=args.images,
-                                  error_scale=scale, obs=obs)
+                                  error_scale=scale, obs=obs,
+                                  jobs=args.jobs)
     print(render_comparison(rows, title="headline: paper vs measured"))
     _finish_trace(args, obs)
 
@@ -232,6 +235,26 @@ def _cmd_profile_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_point(point: tuple[int, int, int, float, object]):
+    """Worker for one chaos-run victim: a fresh fault-tolerant run.
+
+    Each plan gets its own framework and simulation environment, so
+    the runs are independent and the seeded plans make them
+    deterministic — fanning them across processes returns the same
+    :class:`RunResult` values as the serial sweep.
+    """
+    images, devices, batch, timeout, plan = point
+    from repro.harness.figures import paper_timing_graph
+    from repro.ncsw import IntelVPU, NCSw, SyntheticSource
+
+    fw = NCSw()
+    fw.add_source("synthetic", SyntheticSource(images))
+    fw.add_target("vpu", IntelVPU(
+        graph=paper_timing_graph(), num_devices=devices,
+        functional=False, fault_plan=plan, call_timeout=timeout))
+    return fw.run("synthetic", "vpu", batch_size=batch)
+
+
 def _cmd_chaos_run(args: argparse.Namespace) -> int:
     """Deterministic chaos sweep: kill stick k at t, for each k.
 
@@ -240,6 +263,8 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     ``--kill-at`` of the baseline wall time.  A run passes when every
     non-abandoned image still comes back classified; the command
     exits non-zero if any run loses work it should have saved.
+    ``--jobs N`` fans the per-victim runs across processes (tracing
+    keeps the sweep serial).
     """
     from repro.harness.figures import paper_timing_graph
     from repro.ncsw import FaultPlan, IntelVPU, NCSw, SyntheticSource
@@ -292,9 +317,17 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
                                 else 0.0)))
                  for victim in victims]
     obs = _obs_from_args(args)
+    if args.jobs > 1 and obs is None:
+        from repro.harness.experiment import parallel_map
+
+        points = [(args.images, args.devices, args.batch, timeout,
+                   plan) for _, plan in plans]
+        runs = parallel_map(_chaos_point, points, jobs=args.jobs)
+    else:
+        runs = [make_run(plan=plan, timeout=timeout, obs=obs)
+                for _, plan in plans]
     failed = False
-    for label, plan in plans:
-        res = make_run(plan=plan, timeout=timeout, obs=obs)
+    for (label, plan), res in zip(plans, runs):
         ok = res.images == args.images - res.abandoned
         failed = failed or not ok
         # Post-fault throughput over the survivors only.
@@ -457,50 +490,107 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     return 0 if result.completed > 0 else 1
 
 
+def _sweep_point(args: argparse.Namespace, token: str):
+    """Worker for one serve-sweep configuration.
+
+    Estimates the closed-loop capacity, then bisects the maximum
+    sustainable arrival rate.  Every probe builds a fresh server and
+    reseeds the workload, so configurations are independent of each
+    other and the sweep fans across processes without changing any
+    probe's outcome.  Returns ``(capacity, SweepResult)`` or ``None``
+    for an invalid token.
+    """
+    from repro.ncsw import NCSw, SyntheticSource
+    from repro.serve import PoissonWorkload, find_max_rate
+
+    targets = _serve_targets(token)
+    if targets is None:
+        return None
+    # Closed-loop capacity estimate: a short batch campaign.
+    target = next(iter(targets.values()))
+    fw = NCSw()
+    fw.add_source("synthetic", SyntheticSource(64))
+    fw.add_target(token, target)
+    batch = max(1, target.preferred_batch_size)
+    capacity = fw.run("synthetic", token,
+                      batch_size=batch).throughput()
+
+    def run_at(rate: float, token=token):
+        srv = _serve_server(args, _serve_targets(token))
+        return srv.run(PoissonWorkload(rate=rate, seed=args.seed),
+                       args.requests)
+
+    sweep = find_max_rate(run_at, slo_seconds=args.slo / 1000.0,
+                          hi=2.0 * capacity, steps=args.steps,
+                          label=token)
+    return capacity, sweep
+
+
 def _cmd_serve_sweep(args: argparse.Namespace) -> int:
     """Bisect the max sustainable arrival rate per configuration.
 
     Each ``--configs`` token becomes one single-backend configuration
     (e.g. ``vpu1,vpu2,vpu4,vpu8`` sweeps the paper's stick scaling in
     the serving regime).  The starting bracket is twice the measured
-    closed-loop throughput of each configuration.
+    closed-loop throughput of each configuration.  ``--jobs N`` fans
+    the configurations across processes; output is collected and
+    printed in configuration order either way.
     """
-    from repro.ncsw import NCSw, SyntheticSource
-    from repro.serve import PoissonWorkload, find_max_rate, render_sweep_table
+    from functools import partial
 
+    from repro.harness.experiment import parallel_map
+    from repro.serve import render_sweep_table
+
+    tokens = [t.strip() for t in args.configs.split(",") if t.strip()]
+    if not tokens:
+        print("--configs: no configurations given")
+        return 2
+    outcomes = parallel_map(partial(_sweep_point, args), tokens,
+                            jobs=args.jobs)
+    if any(o is None for o in outcomes):
+        return 2
     results = []
-    for token in args.configs.split(","):
-        token = token.strip()
-        if not token:
-            continue
-        targets = _serve_targets(token)
-        if targets is None:
-            return 2
-        # Closed-loop capacity estimate: a short batch campaign.
-        target = next(iter(targets.values()))
-        fw = NCSw()
-        fw.add_source("synthetic", SyntheticSource(64))
-        fw.add_target(token, target)
-        batch = max(1, target.preferred_batch_size)
-        capacity = fw.run("synthetic", token,
-                          batch_size=batch).throughput()
-
-        def run_at(rate: float, token=token):
-            srv = _serve_server(args, _serve_targets(token))
-            return srv.run(PoissonWorkload(rate=rate, seed=args.seed),
-                           args.requests)
-
-        sweep = find_max_rate(run_at, slo_seconds=args.slo / 1000.0,
-                              hi=2.0 * capacity, steps=args.steps,
-                              label=token)
+    for capacity, sweep in outcomes:
         print(f"{sweep.summary()} "
               f"(closed-loop capacity {capacity:.1f} img/s)")
         results.append(sweep)
-    if not results:
-        print("--configs: no configurations given")
-        return 2
     print()
     print(render_sweep_table(results))
+    return 0
+
+
+def _cmd_perf_run(args: argparse.Namespace) -> int:
+    """Time the wall-clock perf suite; write and/or check BENCH json.
+
+    ``--check FILE`` is the CI regression gate: the fresh numbers are
+    compared against the committed file after rescaling for machine
+    speed, and any workload more than ``--tolerance`` slower fails
+    the command.
+    """
+    from repro.harness import perf
+
+    mode = "smoke" if args.smoke else "full"
+    samples = perf.run_suite(mode)
+    baseline = (perf.load_bench(args.baseline)
+                if args.baseline else None)
+    print(perf.render_perf_table(
+        samples, (baseline or {}).get("modes"), mode=mode))
+    if args.out:
+        modes = {mode: samples}
+        other = "smoke" if mode == "full" else "full"
+        modes[other] = perf.run_suite(other)
+        path = perf.write_bench(args.out, modes, baseline=baseline)
+        print(f"wrote {path}")
+    if args.check:
+        committed = perf.load_bench(args.check)
+        failures = perf.check_regression(
+            samples, committed, mode=mode, tolerance=args.tolerance)
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}")
+            return 1
+        print(f"perf check passed (mode={mode}, tolerance "
+              f"{args.tolerance:.0%})")
     return 0
 
 
@@ -523,6 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--trace", default=None, metavar="PATH",
                         help="record a Perfetto trace_event JSON here "
                              "and print the utilisation report")
+    common.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan independent runs across N processes "
+                             "(results identical to --jobs 1; tracing "
+                             "and jitter keep the run serial)")
 
     for name, (desc, _) in _FIGURES.items():
         sub.add_parser(name, help=desc, parents=[common])
@@ -580,6 +674,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", default=None, metavar="PATH",
                        help="record a Perfetto trace of the chaos "
                             "runs here")
+    chaos.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan per-victim runs across N processes "
+                            "(results identical to --jobs 1)")
 
     serve_common = argparse.ArgumentParser(add_help=False)
     serve_common.add_argument(
@@ -667,7 +764,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve_sweep.add_argument(
         "--steps", type=int, default=8,
         help="bisection steps per configuration (default 8)")
+    serve_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan configurations across N processes "
+             "(results identical to --jobs 1)")
     serve_sweep.set_defaults(requests=200)
+
+    perf_run = sub.add_parser(
+        "perf-run",
+        help="time the wall-clock perf suite; write / check "
+             "BENCH_PR4.json")
+    perf_run.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized workloads (seconds instead of a minute)")
+    perf_run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the measured BENCH json here (both modes)")
+    perf_run.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="previously recorded BENCH file to embed in --out "
+             "(adds before/after speedups)")
+    perf_run.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="compare against this committed BENCH file; exits "
+             "non-zero on a regression beyond --tolerance")
+    perf_run.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional wall-clock regression for --check "
+             "(default 0.25)")
     return parser
 
 
@@ -694,6 +818,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve_run(args)
     if args.command == "serve-sweep":
         return _cmd_serve_sweep(args)
+    if args.command == "perf-run":
+        return _cmd_perf_run(args)
     raise AssertionError("unreachable")
 
 

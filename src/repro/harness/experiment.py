@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Callable, Iterable, TypeVar
 
 from repro.data.calibrate import CalibrationResult, calibrate_noise
 from repro.data.generator import ImageSynthesizer
@@ -128,6 +129,42 @@ def get_context(scale: str = "default") -> ExperimentContext:
         raise ReproError(
             f"unknown scale {scale!r}; available: {sorted(SCALES)}")
     return _cached_context(scale)
+
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(func: Callable[[_T], _R], items: Iterable[_T],
+                 jobs: int = 1) -> list[_R]:
+    """Order-preserving map, optionally fanned across processes.
+
+    With ``jobs <= 1`` (or a single item, or no usable ``fork`` start
+    method) this is a plain serial list comprehension — the fallback
+    every caller can rely on for byte-identical results.  With
+    ``jobs > 1`` the items are mapped over a ``fork`` worker pool:
+    children inherit the parent's caches (compiled graphs, experiment
+    contexts) for free, and ``Pool.map`` preserves input order, so the
+    merged output is positionally identical to the serial one.
+
+    ``func`` must be picklable (a module-level function or a
+    :func:`functools.partial` of one) and must not depend on mutable
+    state that the run mutates — each item has to be independent.
+    Callers are responsible for only fanning out workloads whose
+    serial execution carries no state between items (e.g. jitter-free
+    timing runs, per-subset functional runs on fresh frameworks).
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    import multiprocessing as mp
+
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # platform without fork: stay serial
+        return [func(item) for item in items]
+    with ctx.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(func, items)
 
 
 @lru_cache(maxsize=1)

@@ -15,6 +15,7 @@ the context's scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional
 
 import numpy as np
@@ -24,6 +25,7 @@ from repro.harness.experiment import (
     get_context,
     paper_timing_graph,
     paper_timing_network,
+    parallel_map,
 )
 from repro.obs.session import ObsSession
 from repro.ncsw.framework import NCSw
@@ -90,17 +92,42 @@ def _timing_framework(num_images: int, jitter: float = 0.0,
     return fw
 
 
+def _timing_point(point: tuple[str, int, int]) -> tuple[float, float, float]:
+    """Worker for one jitter-free ``(target, batch, images)`` timing run.
+
+    Builds a fresh framework — every run gets a fresh simulation
+    environment anyway, and with jitter disabled a run's outcome
+    depends only on the (target, batch, images) triple, so fanning
+    these points across processes reproduces the serial series
+    exactly.  Returns ``(throughput, seconds_per_image, err)`` where
+    *err* is the paper-style per-subset error-bar value.
+    """
+    target, batch, images = point
+    fw = _timing_framework(images)
+    run = fw.run("synthetic", target, batch_size=batch)
+    stats = run.latency_stats()
+    err = (stats.std / stats.mean * run.throughput()
+           if stats.mean > 0 else 0.0)
+    return run.throughput(), run.seconds_per_image(), err
+
+
 def fig6a_throughput_per_subset(
         num_subsets: int = 5,
         images_per_subset: int = TIMING_IMAGES,
         jitter: float = 0.0,
-        obs: Optional[ObsSession] = None) -> FigureResult:
+        obs: Optional[ObsSession] = None,
+        jobs: int = 1) -> FigureResult:
     """Fig. 6a: inference throughput per validation subset, batch 8.
 
     ``jitter`` enables the testbed-noise model (relative std-dev of
     per-inference latency), which reproduces the paper's error bars;
     0 keeps the simulation deterministic.  ``obs`` records a span
     timeline and metrics across the runs (see :mod:`repro.obs`).
+    ``jobs > 1`` fans the independent (target, subset) runs across
+    processes; only the deterministic configuration qualifies (with
+    jitter the target's RNG state threads through the serial run
+    order, and an ObsSession records into one in-process timeline),
+    so jitter or tracing silently keeps the run serial.
     """
     fw = _timing_framework(images_per_subset, jitter=jitter, obs=obs)
     result = FigureResult(
@@ -116,8 +143,19 @@ def fig6a_throughput_per_subset(
                   "noise; pass jitter>0 to model it)")),
     )
     subsets = tuple(f"Set-{i + 1}" for i in range(num_subsets))
-    for label, target in (("cpu", "cpu"), ("gpu", "gpu"),
-                          ("vpu", "vpu8")):
+    labels = (("cpu", "cpu"), ("gpu", "gpu"), ("vpu", "vpu8"))
+    if jobs > 1 and jitter == 0 and obs is None:
+        points = [(target, 8, images_per_subset)
+                  for _, target in labels for _ in range(num_subsets)]
+        measured = parallel_map(_timing_point, points, jobs=jobs)
+        for i, (label, _) in enumerate(labels):
+            chunk = measured[i * num_subsets:(i + 1) * num_subsets]
+            result.series.append(Series(
+                label=label, x=subsets,
+                y=tuple(tput for tput, _, _ in chunk),
+                yerr=tuple(err for _, _, err in chunk)))
+        return result
+    for label, target in labels:
         values = []
         errs = []
         for _ in range(num_subsets):
@@ -136,9 +174,11 @@ def fig6a_throughput_per_subset(
 
 def fig6b_normalized_scaling(
         images: int = TIMING_IMAGES,
-        obs: Optional[ObsSession] = None) -> FigureResult:
+        obs: Optional[ObsSession] = None,
+        jobs: int = 1) -> FigureResult:
     """Fig. 6b: performance scaling vs batch size, normalised to the
-    single-input test of each device (VPU count == batch size)."""
+    single-input test of each device (VPU count == batch size).
+    ``jobs > 1`` fans the (device, batch) grid across processes."""
     fw = _timing_framework(images, obs=obs)
     batches = (1, 2, 4, 8)
     result = FigureResult(
@@ -155,7 +195,19 @@ def fig6b_normalized_scaling(
         notes="per-image time at batch 1 divided by per-image time at "
               "batch b; VPU uses b active sticks",
     )
-    for label in ("cpu", "gpu", "vpu"):
+    labels = ("cpu", "gpu", "vpu")
+    if jobs > 1 and obs is None:
+        points = [(f"vpu{b}" if label == "vpu" else label, b, images)
+                  for label in labels for b in batches]
+        measured = parallel_map(_timing_point, points, jobs=jobs)
+        for i, label in enumerate(labels):
+            chunk = measured[i * len(batches):(i + 1) * len(batches)]
+            per_image = [spi for _, spi, _ in chunk]
+            result.series.append(Series(
+                label=label, x=batches,
+                y=tuple(per_image[0] / t for t in per_image)))
+        return result
+    for label in labels:
         per_image = []
         for b in batches:
             target = f"vpu{b}" if label == "vpu" else label
@@ -170,8 +222,10 @@ def fig6b_normalized_scaling(
 
 def fig8a_throughput_per_watt(
         images: int = TIMING_IMAGES,
-        obs: Optional[ObsSession] = None) -> FigureResult:
-    """Fig. 8a: throughput per Watt (Eq. 1) vs batch size."""
+        obs: Optional[ObsSession] = None,
+        jobs: int = 1) -> FigureResult:
+    """Fig. 8a: throughput per Watt (Eq. 1) vs batch size.
+    ``jobs > 1`` fans the (device, batch) grid across processes."""
     fw = _timing_framework(images, obs=obs)
     batches = (1, 2, 4, 8)
     result = FigureResult(
@@ -184,7 +238,22 @@ def fig8a_throughput_per_watt(
         notes="TDP figures: CPU 80 W, GPU 80 W, NCS stick 2.5 W each "
               "(the paper's §V assumption)",
     )
-    for label in ("cpu", "gpu", "vpu"):
+    labels = ("cpu", "gpu", "vpu")
+    if jobs > 1 and obs is None:
+        points = [(f"vpu{b}" if label == "vpu" else label, b, images)
+                  for label in labels for b in batches]
+        measured = parallel_map(_timing_point, points, jobs=jobs)
+        for i, label in enumerate(labels):
+            chunk = measured[i * len(batches):(i + 1) * len(batches)]
+            values = [
+                throughput_per_watt(
+                    tput, (DEFAULT_TDP.watts("ncs", b)
+                           if label == "vpu" else DEFAULT_TDP.watts(label)))
+                for b, (tput, _, _) in zip(batches, chunk)]
+            result.series.append(Series(label=label, x=batches,
+                                        y=tuple(values)))
+        return result
+    for label in labels:
         values = []
         for b in batches:
             target = f"vpu{b}" if label == "vpu" else label
@@ -199,9 +268,12 @@ def fig8a_throughput_per_watt(
 
 def fig8b_projected_throughput(
         images: int = TIMING_IMAGES,
-        obs: Optional[ObsSession] = None) -> FigureResult:
+        obs: Optional[ObsSession] = None,
+        jobs: int = 1) -> FigureResult:
     """Fig. 8b: throughput vs batch size up to 16, with the multi-VPU
-    series projected past the 8 sticks the testbed holds."""
+    series projected past the 8 sticks the testbed holds.
+    ``jobs > 1`` fans the measured (device, batch) runs across
+    processes; the batch-16 projection is derived afterwards."""
     fw = _timing_framework(images, obs=obs)
     batches = (1, 2, 4, 8, 16)
     result = FigureResult(
@@ -214,15 +286,31 @@ def fig8b_projected_throughput(
         notes="VPU values at batch > 8 are projected by continuing the "
               "measured 4->8 scaling efficiency (dashed in the paper)",
     )
-    for label in ("cpu", "gpu"):
-        values = [fw.run("synthetic", label, batch_size=b).throughput()
-                  for b in batches]
-        result.series.append(Series(label=label, x=batches,
-                                    y=tuple(values)))
+    if jobs > 1 and obs is None:
+        points = ([(label, b, images)
+                   for label in ("cpu", "gpu") for b in batches]
+                  + [(f"vpu{b}", b, images) for b in (1, 2, 4, 8)])
+        measured = parallel_map(_timing_point, points, jobs=jobs)
+        for i, label in enumerate(("cpu", "gpu")):
+            chunk = measured[i * len(batches):(i + 1) * len(batches)]
+            result.series.append(Series(
+                label=label, x=batches,
+                y=tuple(tput for tput, _, _ in chunk)))
+        vpu_measured = {
+            b: measured[2 * len(batches) + i][0]
+            for i, b in enumerate((1, 2, 4, 8))}
+    else:
+        for label in ("cpu", "gpu"):
+            values = [fw.run("synthetic", label,
+                             batch_size=b).throughput()
+                      for b in batches]
+            result.series.append(Series(label=label, x=batches,
+                                        y=tuple(values)))
 
-    vpu_measured = {
-        b: fw.run("synthetic", f"vpu{b}", batch_size=b).throughput()
-        for b in (1, 2, 4, 8)}
+        vpu_measured = {
+            b: fw.run("synthetic", f"vpu{b}",
+                      batch_size=b).throughput()
+            for b in (1, 2, 4, 8)}
     # Efficiency of each doubling step, measured at 4 -> 8 sticks.
     step_eff = vpu_measured[8] / (2 * vpu_measured[4])
     projected_16 = vpu_measured[8] * 2 * step_eff
@@ -258,10 +346,39 @@ def _precision_runs(ctx: ExperimentContext, subset: int,
     return cpu, gpu, vpu
 
 
+def _precision_point(scale: str, subset: int,
+                     obs: Optional[ObsSession] = None
+                     ) -> tuple[float, float, float, float, float]:
+    """Worker for one functional subset in both precisions.
+
+    Returns ``(cpu_err, gpu_err, vpu_err, conf_diff_mean,
+    conf_diff_std)`` — everything Fig. 7a and 7b need from the
+    subset, as plain floats, so the campaign can fan subsets across
+    processes (each call builds its own framework and targets; the
+    cached :func:`get_context` is inherited by forked workers).
+    """
+    ctx = get_context(scale)
+    cpu, gpu, vpu = _precision_runs(ctx, subset, obs=obs)
+    cpu_by_id = {r.image_id: r for r in cpu.records}
+    pair_diffs = []
+    for rv in vpu.records:
+        rc = cpu_by_id.get(rv.image_id)
+        if (rc is None or not rc.correct or not rv.correct
+                or rc.confidence is None or rv.confidence is None):
+            continue
+        pair_diffs.append(abs(rc.confidence - rv.confidence))
+    arr = np.array(pair_diffs) if pair_diffs else np.zeros(1)
+    return (cpu.top1_error(), gpu.top1_error(), vpu.top1_error(),
+            float(arr.mean()), float(arr.std()))
+
+
 def fig7a_top1_error(scale: str = "default",
                      num_subsets: Optional[int] = None,
-                     obs: Optional[ObsSession] = None) -> FigureResult:
-    """Fig. 7a: top-1 inference error per subset, FP32 vs FP16."""
+                     obs: Optional[ObsSession] = None,
+                     jobs: int = 1) -> FigureResult:
+    """Fig. 7a: top-1 inference error per subset, FP32 vs FP16.
+    ``jobs > 1`` fans the independent subsets across processes
+    (tracing via ``obs`` keeps the run serial)."""
     ctx = get_context(scale)
     n = num_subsets or ctx.scale.num_subsets
     result = FigureResult(
@@ -276,12 +393,15 @@ def fig7a_top1_error(scale: str = "default",
         scale=scale,
     )
     subsets = tuple(f"Set-{i + 1}" for i in range(n))
-    cpu_err, vpu_err, gpu_err = [], [], []
-    for s in range(n):
-        cpu, gpu, vpu = _precision_runs(ctx, s, obs=obs)
-        cpu_err.append(cpu.top1_error())
-        gpu_err.append(gpu.top1_error())
-        vpu_err.append(vpu.top1_error())
+    if jobs > 1 and obs is None:
+        points = parallel_map(partial(_precision_point, scale),
+                              range(n), jobs=jobs)
+    else:
+        points = [_precision_point(scale, s, obs=obs)
+                  for s in range(n)]
+    cpu_err = [p[0] for p in points]
+    gpu_err = [p[1] for p in points]
+    vpu_err = [p[2] for p in points]
     result.series.append(Series("cpu_fp32", subsets, tuple(cpu_err)))
     result.series.append(Series("vpu_fp16", subsets, tuple(vpu_err)))
     # The paper omits the GPU from the figure but asserts equivalence
@@ -293,9 +413,11 @@ def fig7a_top1_error(scale: str = "default",
 def fig7b_confidence_difference(
         scale: str = "default",
         num_subsets: Optional[int] = None,
-        obs: Optional[ObsSession] = None) -> FigureResult:
+        obs: Optional[ObsSession] = None,
+        jobs: int = 1) -> FigureResult:
     """Fig. 7b: mean |confidence_FP32 - confidence_FP16| per subset,
-    over images both precisions classify correctly."""
+    over images both precisions classify correctly.  ``jobs > 1``
+    fans the independent subsets across processes."""
     ctx = get_context(scale)
     n = num_subsets or ctx.scale.num_subsets
     result = FigureResult(
@@ -309,20 +431,14 @@ def fig7b_confidence_difference(
         scale=scale,
     )
     subsets = tuple(f"Set-{i + 1}" for i in range(n))
-    diffs, stds = [], []
-    for s in range(n):
-        cpu, _, vpu = _precision_runs(ctx, s, obs=obs)
-        cpu_by_id = {r.image_id: r for r in cpu.records}
-        pair_diffs = []
-        for rv in vpu.records:
-            rc = cpu_by_id.get(rv.image_id)
-            if (rc is None or not rc.correct or not rv.correct
-                    or rc.confidence is None or rv.confidence is None):
-                continue
-            pair_diffs.append(abs(rc.confidence - rv.confidence))
-        arr = np.array(pair_diffs) if pair_diffs else np.zeros(1)
-        diffs.append(float(arr.mean()))
-        stds.append(float(arr.std()))
+    if jobs > 1 and obs is None:
+        points = parallel_map(partial(_precision_point, scale),
+                              range(n), jobs=jobs)
+    else:
+        points = [_precision_point(scale, s, obs=obs)
+                  for s in range(n)]
+    diffs = [p[3] for p in points]
+    stds = [p[4] for p in points]
     result.series.append(Series("cpu_vs_vpu", subsets, tuple(diffs),
                                 yerr=tuple(stds)))
     return result
@@ -334,12 +450,15 @@ def fig7b_confidence_difference(
 
 def headline_table(images: int = TIMING_IMAGES,
                    error_scale: Optional[str] = "default",
-                   obs: Optional[ObsSession] = None
+                   obs: Optional[ObsSession] = None,
+                   jobs: int = 1
                    ) -> list[tuple[str, float, float]]:
     """The paper's headline numbers: (metric, paper value, measured).
 
     ``error_scale=None`` skips the functional error rows (used by the
-    timing-only benchmark).
+    timing-only benchmark).  ``jobs`` fans the functional Fig. 7
+    subsets across processes; the timing rows stay serial (they are
+    six short runs on one framework).
     """
     fw = _timing_framework(images, obs=obs)
     rows: list[tuple[str, float, float]] = []
@@ -382,13 +501,14 @@ def headline_table(images: int = TIMING_IMAGES,
                  throughput_per_watt(gpu8.throughput(), 80.0)))
 
     if error_scale is not None:
-        fig7a = fig7a_top1_error(scale=error_scale, obs=obs)
+        fig7a = fig7a_top1_error(scale=error_scale, obs=obs,
+                                 jobs=jobs)
         cpu_mean = float(np.mean(fig7a.by_label("cpu_fp32").y))
         vpu_mean = float(np.mean(fig7a.by_label("vpu_fp16").y))
         rows.append(("cpu_top1_error", 0.3201, cpu_mean))
         rows.append(("vpu_top1_error", 0.3192, vpu_mean))
         fig7b = fig7b_confidence_difference(scale=error_scale,
-                                            obs=obs)
+                                            obs=obs, jobs=jobs)
         rows.append(("confidence_diff", 0.0044,
                      float(np.mean(fig7b.series[0].y))))
     return rows

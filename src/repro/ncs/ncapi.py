@@ -116,10 +116,10 @@ class GraphHandle:
             # written off and every in-flight call aborts), nobody is
             # listening any more — defuse it so the kernel does not
             # surface an unhandled error.
-            if event.callbacks is not None:
+            if not event.processed:
                 def _defuse(ev: Event) -> None:
                     ev._defused = True
-                event.callbacks.append(_defuse)
+                event.add_callback(_defuse)
             raise DeviceTimeout(
                 f"{self._device.device_id}: {name} exceeded "
                 f"{timeout}s deadline")
@@ -137,11 +137,10 @@ class GraphHandle:
         if obs is not None:
             span = obs.tracer.begin(
                 name, track=f"{self._device.device_id}/host")
-            callbacks = event.callbacks
-            if callbacks is None:  # already processed: zero-length
+            if event.processed:  # already processed: zero-length
                 obs.tracer.end(span)
             else:
-                callbacks.append(lambda _ev: obs.tracer.end(span))
+                event.add_callback(lambda _ev: obs.tracer.end(span))
         return event
 
     def time_taken(self) -> list[float]:

@@ -48,6 +48,10 @@ class Network:
         self._producers: dict[str, str] = {input_blob: "<input>"}
         # Cache of FP16-quantised parameters, built lazily per layer.
         self._fp16_params: dict[str, dict[str, np.ndarray]] = {}
+        # Cached execution plans (fused steps + blob refcounts) keyed
+        # by the capture set; invalidated when the topology changes.
+        self._plan_cache: dict[frozenset,
+                               tuple[list, dict[str, int]]] = {}
 
     # -- construction ---------------------------------------------------
     def add(self, layer: Layer) -> Layer:
@@ -69,6 +73,7 @@ class Network:
             self._producers[top] = layer.name
         self.layers.append(layer)
         self._fp16_params.pop(layer.name, None)
+        self._plan_cache.clear()
         return layer
 
     def __len__(self) -> int:
@@ -149,6 +154,58 @@ class Network:
         """Drop cached quantised weights (call after mutating params)."""
         self._fp16_params.clear()
 
+    def _exec_plan(self, capture: frozenset
+                   ) -> tuple[list, dict[str, int]]:
+        """Execution plan: (layer, fused_relu) steps + blob refcounts.
+
+        A Convolution immediately followed by the plain ReLU that is
+        its sole consumer executes as one fused step: the ReLU is
+        applied in place on the convolution output, skipping the
+        intermediate blob round-trip.  Fusion never changes values —
+        ``max(x, 0)`` is exact in every dtype and FP16 rounding is
+        idempotent across it — so results are bit-identical to the
+        unfused sweep.  Out-of-place ReLUs whose bottom is captured
+        stay unfused so the pre-activation blob remains observable.
+        """
+        cached = self._plan_cache.get(capture)
+        if cached is not None:
+            return cached
+        from repro.nn.conv import Convolution
+        from repro.nn.relu import ReLU
+
+        keep = set(capture) | {self.output_blob}
+        consumers: dict[str, int] = {}
+        for l in self.layers:
+            for b in l.bottoms:
+                consumers[b] = consumers.get(b, 0) + 1
+
+        steps: list = []
+        i = 0
+        layers = self.layers
+        while i < len(layers):
+            layer = layers[i]
+            fused = None
+            if i + 1 < len(layers) and isinstance(layer, Convolution):
+                nxt = layers[i + 1]
+                if (isinstance(nxt, ReLU)
+                        and nxt.negative_slope == 0.0
+                        and len(layer.tops) == 1
+                        and list(nxt.bottoms) == [layer.tops[0]]):
+                    in_place = nxt.tops[0] == nxt.bottoms[0]
+                    lone = (consumers.get(layer.tops[0], 0) == 1
+                            and layer.tops[0] not in keep)
+                    if in_place or lone:
+                        fused = nxt
+            steps.append((layer, fused))
+            i += 2 if fused is not None else 1
+
+        refcount: dict[str, int] = {}
+        for layer, _ in steps:
+            for b in layer.bottoms:
+                refcount[b] = refcount.get(b, 0) + 1
+        self._plan_cache[capture] = (steps, refcount)
+        return steps, refcount
+
     def forward(self, x: np.ndarray,
                 policy: Optional[PrecisionPolicy] = None,
                 capture: Optional[Sequence[str]] = None) -> np.ndarray:
@@ -189,16 +246,16 @@ class Network:
             x = policy.quantize_activation_array(x)
         blobs: dict[str, np.ndarray] = {self.input_blob: x}
         captured: dict[str, np.ndarray] = {}
-        # Reference counts let us free dead activations as we sweep —
-        # keeps peak memory near the network's true working set.
-        refcount: dict[str, int] = {}
-        for layer in self.layers:
-            for b in layer.bottoms:
-                refcount[b] = refcount.get(b, 0) + 1
+        # The plan carries fused Conv+ReLU steps and the blob
+        # reference counts that let us free dead activations as we
+        # sweep — peak memory stays near the true working set.
+        steps, base_refcount = self._exec_plan(frozenset(capture))
+        refcount = dict(base_refcount)
         keep = set(capture) | {self.output_blob}
 
-        for layer in self.layers:
-            inputs = [blobs[b] for b in layer.bottoms]
+        for layer, fused in steps:
+            bottoms = layer.bottoms
+            inputs = [blobs[b] for b in bottoms]
             saved_params = None
             applies = policy.applies_to(layer.name)
             if policy.quantize_weights and layer.params and applies:
@@ -209,16 +266,31 @@ class Network:
             finally:
                 if saved_params is not None:
                     layer.params = saved_params
-            for top, out in zip(layer.tops, outputs):
-                out = np.asarray(out, dtype=np.float32)
+            if fused is None:
+                for top, out in zip(layer.tops, outputs):
+                    out = np.asarray(out, dtype=np.float32)
+                    if applies:
+                        out = policy.quantize_activation_array(out)
+                    blobs[top] = out
+                    if top in keep:
+                        captured[top] = out
+            else:
+                # Fused Conv+ReLU: rectify in place on the conv
+                # output (freshly allocated, so mutation is safe).
+                out = np.asarray(outputs[0], dtype=np.float32)
                 if applies:
                     out = policy.quantize_activation_array(out)
+                np.maximum(out, 0.0, out=out)
+                if policy.applies_to(fused.name):
+                    out = policy.quantize_activation_array(out)
+                top = fused.tops[0]
                 blobs[top] = out
                 if top in keep:
                     captured[top] = out
-            for b in layer.bottoms:
-                refcount[b] -= 1
-                if refcount[b] == 0 and b not in keep:
+            for b in bottoms:
+                left = refcount[b] - 1
+                refcount[b] = left
+                if left == 0 and b not in keep:
                     blobs.pop(b, None)
 
         return blobs[self.output_blob], captured

@@ -77,18 +77,26 @@ class Pooling(Layer):
                      dtype=x.dtype)
         xp[:, :, pad:pad + h, pad:pad + w] = x
 
-        # Gather every window with one strided fancy-index per (di, dj)
-        # offset — k*k vectorised slices instead of oh*ow Python loops.
-        rows = stride * np.arange(oh)
-        cols = stride * np.arange(ow)
-        stack = np.empty((k * k, n, c, oh, ow), dtype=x.dtype)
-        for di in range(k):
-            sub = xp[:, :, rows + di, :]
-            for dj in range(k):
-                stack[di * k + dj] = sub[:, :, :, cols + dj]
+        # Each (di, dj) window offset is a strided *view* of the padded
+        # input — no per-offset gather copies.  Max pooling folds the
+        # views with a running in-place maximum (exact in any order);
+        # average pooling still stacks and uses NumPy's pairwise sum so
+        # results stay bit-identical to the stacked reduction.
+        def window(di: int, dj: int) -> np.ndarray:
+            return xp[:, :, di:di + stride * (oh - 1) + 1:stride,
+                      dj:dj + stride * (ow - 1) + 1:stride]
 
         if self.method is PoolMethod.MAX:
-            return [stack.max(axis=0)]
+            out = np.array(window(0, 0))
+            for di in range(k):
+                for dj in range(k):
+                    if di or dj:
+                        np.maximum(out, window(di, dj), out=out)
+            return [out]
+        stack = np.empty((k * k, n, c, oh, ow), dtype=x.dtype)
+        for di in range(k):
+            for dj in range(k):
+                stack[di * k + dj] = window(di, dj)
         # Caffe averages over the full k*k window including padding.
         return [stack.sum(axis=0) / np.float32(k * k)]
 

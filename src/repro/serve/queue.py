@@ -95,7 +95,7 @@ class AdmissionQueue:
             event = self._store.put(request)
             # Stamp admission when the put actually lands, which under
             # backpressure can be well after the arrival.
-            event.callbacks.append(
+            event.add_callback(
                 lambda _ev, req=request: self._admitted(req))
             return event
         if self.full:
@@ -144,7 +144,7 @@ class AdmissionQueue:
         """Take the next request; event value is the Request (or the
         ``None`` poison pill once the workload is closed)."""
         event = self._store.get()
-        event.callbacks.append(self._on_take)
+        event.add_callback(self._on_take)
         return event
 
     def _on_take(self, event: Event) -> None:

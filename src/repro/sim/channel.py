@@ -60,7 +60,7 @@ class Channel:
              filter: Optional[Callable[[Any], bool]] = None) -> Event:
         """Receive a message; event fires with the message as its value."""
         get = self._store.get(filter)
-        get.callbacks.append(self._count_recv)
+        get.add_callback(self._count_recv)
         return get
 
     def _count_recv(self, event: Event) -> None:

@@ -16,7 +16,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.core import Environment, Event
+from repro.sim.core import PENDING, Environment, Event
 
 
 class Request(Event):
@@ -29,8 +29,17 @@ class Request(Event):
             ... hold the resource ...
     """
 
+    __slots__ = ("resource", "priority", "order")
+
     def __init__(self, resource: "Resource", priority: int = 0) -> None:
-        super().__init__(resource.env)
+        # Event.__init__ inlined: requests are created on the sim's
+        # innermost loop and the extra frame is measurable.
+        self.env = resource.env
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+        self._processed = False
         self.resource = resource
         self.priority = priority
         self.order = next(resource._counter)
@@ -95,7 +104,7 @@ class Resource:
     def _grant_next(self) -> None:
         while self.queue and len(self.users) < self.capacity:
             request = self.queue.pop(0)
-            if request.triggered:
+            if request._value is not PENDING:
                 continue  # cancelled while waiting
             self.users.append(request)
             request.succeed()
@@ -111,17 +120,31 @@ class PriorityResource(Resource):
 class StorePut(Event):
     """Pending insertion into a :class:`Store`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+        self._processed = False
         self.item = item
 
 
 class StoreGet(Event):
     """Pending retrieval from a :class:`Store`."""
 
+    __slots__ = ("filter",)
+
     def __init__(self, store: "Store",
                  filter: Optional[Callable[[Any], bool]] = None) -> None:
-        super().__init__(store.env)
+        self.env = store.env
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
+        self._processed = False
         self.filter = filter
 
 
@@ -149,13 +172,32 @@ class Store:
     def put(self, item: Any) -> StorePut:
         """Insert *item*; the returned event fires once it is stored."""
         event = StorePut(self, item)
-        self._putters.append(event)
-        self._dispatch()
+        # Fast path: room available and nobody queued ahead — admit
+        # directly, then wake a blocked getter if any.  Identical event
+        # ordering to the general dispatch (put succeeds, then gets).
+        if not self._putters and len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            if self._getters:
+                self._dispatch()
+        else:
+            self._putters.append(event)
+            self._dispatch()
         return event
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
         """Remove and return an item; event fires with the item as value."""
         event = StoreGet(self, filter)
+        # Fast path: an item is available and nobody is queued ahead —
+        # serve directly, then admit a blocked putter into the freed
+        # slot.  Identical event ordering to the general dispatch.
+        if not self._getters and self.items:
+            idx = 0 if filter is None else self._find(filter)
+            if idx is not None:
+                event.succeed(self.items.pop(idx))
+                if self._putters:
+                    self._dispatch()
+                return event
         self._getters.append(event)
         self._dispatch()
         return event
@@ -204,29 +246,38 @@ class Store:
 
     # -- internals ----------------------------------------------------------
     def _dispatch(self) -> None:
+        items = self.items
+        capacity = self.capacity
         progress = True
         while progress:
             progress = False
             # Admit pending puts while there is room.
-            while self._putters and len(self.items) < self.capacity:
-                put = self._putters.pop(0)
-                if put.triggered:
-                    continue
-                self.items.append(put.item)
+            putters = self._putters
+            while putters and len(items) < capacity:
+                put = putters.pop(0)
+                if put._value is not PENDING:
+                    continue  # cancelled/withdrawn while waiting
+                items.append(put.item)
                 put.succeed()
                 progress = True
-            # Serve pending gets with matching items.
-            remaining: list[StoreGet] = []
-            for get in self._getters:
-                if get.triggered:
-                    continue
-                idx = self._find(get.filter)
-                if idx is None:
-                    remaining.append(get)
-                else:
-                    get.succeed(self.items.pop(idx))
-                    progress = True
-            self._getters = remaining
+            # Serve pending gets with matching items.  An empty store
+            # cannot serve any getter (filters see items only), so skip
+            # the scan — and its list churn — outright in that case.
+            if not items:
+                break
+            getters = self._getters
+            if getters:
+                remaining: list[StoreGet] = []
+                for get in getters:
+                    if get._value is not PENDING:
+                        continue
+                    idx = self._find(get.filter)
+                    if idx is None:
+                        remaining.append(get)
+                    else:
+                        get.succeed(items.pop(idx))
+                        progress = True
+                self._getters = remaining
 
     def _find(self, filter: Optional[Callable[[Any], bool]]) -> Optional[int]:
         if filter is None:

@@ -1,0 +1,132 @@
+"""The lean kernel's determinism contract, end to end.
+
+The ``__slots__`` event types, lazy callback lists and the inlined
+run loop are pure mechanics: the ``(time, priority, seq)`` fire order
+must be exactly what the straightforward kernel produced.  These
+tests pin that contract from three angles — the raw fire order, the
+public ``step()`` loop against the inlined ``run()`` loop, and the
+full chaos/serving stacks replayed seed-for-seed on top.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ncsw import FaultPlan
+from repro.serve import PoissonWorkload
+from repro.sim import Environment, Resource, Store
+
+
+def _pipeline_trace(n_items: int = 60, n_workers: int = 3,
+                    use_step: bool = False) -> list:
+    """The perf harness's producer/consumer shape, with a fire trace."""
+    env = Environment()
+    store = Store(env, capacity=8)
+    done = Store(env)
+    cpu = Resource(env, capacity=2)
+    trace: list = []
+
+    def producer():
+        for i in range(n_items):
+            yield store.put(i)
+            yield env.timeout(0.001)
+            trace.append(("put", round(env.now, 9), i))
+
+    def worker(wid):
+        while True:
+            item = yield store.get()
+            with cpu.request() as req:
+                yield req
+                yield env.timeout(0.01)
+            trace.append(("done", round(env.now, 9), wid, item))
+            yield done.put(item)
+
+    def drain():
+        for _ in range(n_items):
+            yield done.get()
+
+    env.process(producer())
+    for wid in range(n_workers):
+        env.process(worker(wid))
+    stop = env.process(drain())
+    if use_step:
+        while not stop.processed:
+            env.step()
+    else:
+        env.run(until=stop)
+    trace.append(("seq", env._seq))
+    return trace
+
+
+def test_pipeline_replay_is_identical():
+    assert _pipeline_trace() == _pipeline_trace()
+
+
+def test_step_loop_equals_inlined_run_loop():
+    """``run()`` inlines ``step()``; both must fire the same order."""
+    assert _pipeline_trace(use_step=True) == _pipeline_trace(
+        use_step=False)
+
+
+@given(st.lists(st.tuples(st.floats(0.001, 1.0), st.integers(1, 4)),
+                min_size=1, max_size=6),
+       st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_property_contended_store_determinism(producers, capacity):
+    """Contended put/get through the Store fast paths is replayable."""
+
+    def run():
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        order: list = []
+
+        def feed(idx, period, count):
+            for i in range(count):
+                yield env.timeout(period)
+                yield store.put((idx, i))
+
+        def eat(total):
+            for _ in range(total):
+                item = yield store.get()
+                order.append((round(env.now, 9), item))
+
+        total = sum(count for _, count in producers)
+        for idx, (period, count) in enumerate(producers):
+            env.process(feed(idx, period, count))
+        env.run(until=env.process(eat(total)))
+        return order, env._seq
+
+    assert run() == run()
+
+
+def _chaos_fingerprint(res) -> tuple:
+    return (tuple((r.index, r.device, r.t_submit, r.t_complete)
+                  for r in res.records),
+            tuple((f.kind, f.device, f.at) for f in res.failures),
+            res.reassigned, res.abandoned)
+
+
+def test_chaos_same_seed_replays_byte_identical(chaos_run):
+    """The full fault-tolerant stack on the lean kernel replays a
+    seeded schedule record-for-record (the PR-4 kernel rewrite must
+    not perturb a single timestamp)."""
+    base = chaos_run(images=40, devices=4)
+    wall = max(r.t_complete for r in base.records)
+    t0 = min(r.t_submit for r in base.records)
+    plan = FaultPlan.seeded(11, num_devices=4, horizon=wall, start=t0,
+                            n_faults=1)
+    a = chaos_run(plan, call_timeout=0.05)
+    b = chaos_run(plan, call_timeout=0.05)
+    assert _chaos_fingerprint(a) == _chaos_fingerprint(b)
+
+
+def test_serving_same_seed_replays_byte_identical(serve_run):
+    """Open-loop serving (admission, batching, routing) replays too."""
+
+    def fingerprint(res):
+        return tuple((r.request_id, r.status, r.arrival_time,
+                      r.completed_at, r.backend)
+                     for r in res.requests)
+
+    a = serve_run(requests=30, workload=PoissonWorkload(200.0, seed=5))
+    b = serve_run(requests=30, workload=PoissonWorkload(200.0, seed=5))
+    assert fingerprint(a) == fingerprint(b)
