@@ -1,0 +1,29 @@
+"""Cluster-scale sharded serving over simulated MPI.
+
+The production-scale layer the ROADMAP's north star asks for: N
+simulated serving hosts (each a full ``repro.serve`` pipeline over an
+``IntelVPU``/CPU/GPU target) behind a frontend rank that shards an
+open-loop workload over per-host
+:class:`~repro.mpi.stream.StreamWindow` channels — consistent-hash
+routing with least-outstanding spill, per-shard backpressure,
+whole-host failure injection with re-shard/drain semantics, and a
+:class:`ClusterResult` that rolls per-host
+:class:`~repro.serve.slo.ServeResult` accounting up under the same
+exactly-once invariant.
+"""
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.host import HostRank
+from repro.cluster.report import render_cluster_report
+from repro.cluster.result import ClusterResult, HostShard
+from repro.cluster.server import DEFAULT_WINDOW, ClusterServer
+
+__all__ = [
+    "ClusterResult",
+    "ClusterServer",
+    "DEFAULT_WINDOW",
+    "HashRing",
+    "HostRank",
+    "HostShard",
+    "render_cluster_report",
+]

@@ -1,0 +1,79 @@
+"""Consistent-hash ring for cluster request sharding.
+
+The frontend's default routing decision.  Each host owns ``replicas``
+virtual points on a 64-bit ring (sha256 of ``"<host>#<v>"``, so the
+layout is deterministic and platform-independent); a request maps to
+the first point clockwise of its own hash.  The property that makes
+this the right structure for a serving cluster: removing a host
+re-maps *only* the keys that host owned — every request sticky to a
+surviving host keeps its shard through a failure, so a kill disturbs
+1/N of the traffic instead of reshuffling all of it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Sequence, Union
+
+from repro.errors import FrameworkError
+
+
+def _point(label: str) -> int:
+    """64-bit ring position of a label (stable across platforms)."""
+    digest = hashlib.sha256(f"cluster-ring:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over a set of named nodes."""
+
+    def __init__(self, nodes: Sequence[str],
+                 replicas: int = 64) -> None:
+        if not nodes:
+            raise FrameworkError("hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise FrameworkError(f"duplicate nodes in {list(nodes)}")
+        if replicas < 1:
+            raise FrameworkError(
+                f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._nodes: list[str] = []
+        # Sorted (point, node) pairs; bisect gives O(log n) lookup.
+        self._ring: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current nodes, in insertion order."""
+        return tuple(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Insert *node* with its virtual points."""
+        if node in self._nodes:
+            raise FrameworkError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for v in range(self.replicas):
+            pair = (_point(f"{node}#{v}"), node)
+            bisect.insort(self._ring, pair)
+
+    def remove(self, node: str) -> None:
+        """Drop *node*; only its keys re-map to the survivors."""
+        if node not in self._nodes:
+            raise FrameworkError(f"node {node!r} is not on the ring")
+        self._nodes.remove(node)
+        self._ring = [(p, n) for p, n in self._ring if n != node]
+
+    def lookup(self, key: Union[int, str]) -> str:
+        """The node owning *key* (first point clockwise of its hash)."""
+        if not self._ring:
+            raise FrameworkError("hash ring is empty")
+        point = _point(f"key:{key}")
+        idx = bisect.bisect_right(self._ring, (point, ""))
+        if idx == len(self._ring):
+            idx = 0  # wrap: past the last point means the first node
+        return self._ring[idx][1]

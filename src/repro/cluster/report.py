@@ -1,0 +1,75 @@
+"""Human-readable cluster serving report.
+
+Same contract as the serve-layer SLO report: pure function of the
+:class:`~repro.cluster.result.ClusterResult`, deterministic to the
+byte for a given seed, suitable for golden-file comparison in tests
+and for eyeballs in CI logs.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.result import ClusterResult
+
+
+def _pcts(result: ClusterResult) -> list[tuple[str, float]]:
+    return [("p50", result.p50), ("p95", result.p95),
+            ("p99", result.p99)]
+
+
+def render_cluster_report(result: ClusterResult,
+                          workload: str = "") -> str:
+    """Render one cluster run as a fixed-width text report."""
+    dead = sum(1 for s in result.shards if s.killed_at is not None)
+    lines = ["cluster serve report", "=" * 20]
+    if workload:
+        lines.append(f"  workload        : {workload}")
+    lines += [
+        f"  hosts           : {result.num_hosts} "
+        f"({result.num_hosts - dead} live at end)",
+        f"  offered         : {result.offered}",
+        f"  completed       : {result.completed}",
+        f"  shed            : {result.shed}",
+        f"  rejected        : {result.rejected}",
+        f"  timed out       : {result.timed_out}",
+        f"  abandoned       : {result.abandoned} "
+        f"({result.frontend_abandoned} at the frontend)",
+        f"  loss rate       : {result.loss_rate:.2%}",
+        f"  wall time       : {result.wall_seconds:.3f} s",
+        f"  throughput      : {result.throughput:.1f} req/s",
+        f"  sharded/spilled : {result.sharded}/{result.spilled}",
+        f"  re-sharded      : {result.resharded}",
+    ]
+    if result.failures:
+        lines.append(f"  failures        : "
+                     + ", ".join(f"{e.device} ({e.kind}, "
+                                 f"t={e.time:.3f}s)"
+                                 for e in result.failures))
+    lines.append("")
+    lines.append("  e2e latency (steady state, merged)")
+    try:
+        pcts = _pcts(result)
+    except ValueError:
+        lines.append("    no completed requests past warmup")
+    else:
+        for name, value in pcts:
+            lines.append(f"    {name:<4}: {value * 1000:>9.2f} ms")
+    if result.slo_seconds is not None:
+        lines += [
+            "",
+            f"  SLO p99 <= {result.slo_seconds * 1000:.0f} ms: "
+            f"{'MET' if result.slo_met else 'MISSED'}",
+            f"  attainment      : {result.slo_attainment:.2%}",
+            f"  goodput         : {result.goodput:.1f} req/s",
+        ]
+    lines += ["", f"  {'host':<8}{'rank':>5} {'offered':>8} "
+                  f"{'completed':>10} {'share':>7} {'fate':>12}"]
+    total = max(result.completed, 1)
+    for shard in result.shards:
+        fate = ("died @ {:.2f}s".format(shard.killed_at)
+                if shard.killed_at is not None else "survived")
+        share = shard.result.completed / total
+        lines.append(
+            f"  {shard.name:<8}{shard.rank:>5} "
+            f"{shard.result.offered:>8} "
+            f"{shard.result.completed:>10} {share:>6.1%} {fate:>12}")
+    return "\n".join(lines)

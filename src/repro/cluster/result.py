@@ -1,0 +1,250 @@
+"""Cluster-level accounting: per-host ServeResults rolled up.
+
+The single-host invariant — every offered request resolves exactly
+once — survives sharding in two parts:
+
+* *within* a shard, each host's :class:`~repro.serve.slo.ServeResult`
+  enforces it over the requests that host resolved;
+* *across* shards, :class:`ClusterResult` enforces that no request
+  was resolved by two hosts (request-id disjointness) and that the
+  per-host offered counts plus frontend abandons sum back to the
+  cluster's offered total.
+
+Latency statistics are computed over the *merged* completion stream
+(all hosts' completed requests ordered by completion time), with the
+warmup transient trimmed once at cluster level — the same
+steady-state view the serve layer uses, so cluster goodput and p99
+agree about which requests count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FrameworkError
+from repro.ncsw.faults import FailureEvent
+from repro.serve.slo import ServeResult
+from repro.serve.workload import Request
+
+
+@dataclass
+class HostShard:
+    """One host's slice of a cluster run."""
+
+    rank: int  #: MPI rank (1-based; rank 0 is the frontend)
+    name: str  #: host name (``host0`` ...)
+    result: ServeResult
+    #: Simulated time the host was killed, or None if it survived.
+    killed_at: Optional[float] = None
+    #: Requests this host stranded at death (re-sharded or abandoned
+    #: by the frontend).
+    resharded: int = 0
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one sharded multi-host serving run."""
+
+    offered: int
+    shards: list[HostShard]
+    wall_seconds: float
+    prepare_seconds: float = 0.0
+    slo_seconds: Optional[float] = None
+    #: Leading completed requests (merged completion order) excluded
+    #: from latency statistics — trimmed once, cluster-wide.
+    warmup: int = 0
+    #: Requests abandoned at the frontend: no live host remained to
+    #: take them.
+    frontend_abandoned: int = 0
+    abandoned_requests: list[Request] = field(default_factory=list)
+    #: Host- and device-level failures, in injection order.
+    failures: list[FailureEvent] = field(default_factory=list)
+    #: Frontend routing tallies.
+    sharded: int = 0     #: requests pushed to a shard channel (incl. re-shards)
+    spilled: int = 0     #: routed off the hash-preferred host (load spill)
+    resharded: int = 0   #: re-pushed after their owner host died
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise FrameworkError("cluster result needs >= 1 shard")
+        if self.warmup < 0:
+            raise FrameworkError("warmup must be >= 0")
+        if self.frontend_abandoned != len(self.abandoned_requests):
+            raise FrameworkError(
+                f"{self.frontend_abandoned} frontend abandons but "
+                f"{len(self.abandoned_requests)} abandoned requests "
+                "recorded")
+        # Roll-up invariant, part 1: per-host resolutions plus
+        # frontend abandons account for every offered request.
+        resolved = sum(s.result.offered for s in self.shards)
+        if resolved + self.frontend_abandoned != self.offered:
+            raise FrameworkError(
+                "cluster accounting broken: "
+                f"{resolved} host-resolved + {self.frontend_abandoned}"
+                f" frontend-abandoned != {self.offered} offered")
+        # Part 2: no request resolved by two hosts (exactly once).
+        ids = [r.request_id
+               for s in self.shards for r in s.result.requests]
+        ids.extend(r.request_id for r in self.abandoned_requests)
+        if len(ids) != len(set(ids)):
+            seen: set[int] = set()
+            dup = next(i for i in ids if i in seen or seen.add(i))
+            raise FrameworkError(
+                f"request {dup} resolved by more than one host: the "
+                "cluster exactly-once invariant is broken")
+
+    # -- merged request views -------------------------------------------
+    def completed_requests(self) -> list[Request]:
+        """All completed requests, merged in completion order."""
+        merged = [r for s in self.shards
+                  for r in s.result.completed_requests()]
+        merged.sort(key=lambda r: (r.completed_at, r.request_id))
+        return merged
+
+    def _steady_state(self) -> list[Request]:
+        """Merged completed requests past the cluster warmup."""
+        return self.completed_requests()[self.warmup:]
+
+    def e2e_latencies(self) -> list[float]:
+        """Arrival-to-completion latency per steady-state request."""
+        return [r.e2e_latency for r in self._steady_state()
+                if r.e2e_latency is not None]
+
+    # -- tallies ---------------------------------------------------------
+    @property
+    def num_hosts(self) -> int:
+        """Number of host shards in the cluster."""
+        return len(self.shards)
+
+    @property
+    def completed(self) -> int:
+        """Completed requests across every host."""
+        return sum(s.result.completed for s in self.shards)
+
+    @property
+    def shed(self) -> int:
+        """Requests shed by host admission queues."""
+        return sum(s.result.shed for s in self.shards)
+
+    @property
+    def rejected(self) -> int:
+        """Requests rejected by host admission queues."""
+        return sum(s.result.rejected for s in self.shards)
+
+    @property
+    def timed_out(self) -> int:
+        """Requests that missed their deadline on any host."""
+        return sum(s.result.timed_out for s in self.shards)
+
+    @property
+    def abandoned(self) -> int:
+        """Host-level abandons plus frontend abandons."""
+        return (sum(s.result.abandoned for s in self.shards)
+                + self.frontend_abandoned)
+
+    # -- percentiles -----------------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        """Merged end-to-end latency percentile (q in [0, 100])."""
+        latencies = self.e2e_latencies()
+        if not latencies:
+            raise ValueError(
+                "no completed requests past warmup: latency "
+                "percentiles are undefined for this run")
+        return float(np.percentile(latencies, q))
+
+    @property
+    def p50(self) -> float:
+        """Median merged end-to-end latency (seconds)."""
+        return self.latency_percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile merged end-to-end latency (seconds)."""
+        return self.latency_percentile(95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile merged end-to-end latency (seconds)."""
+        return self.latency_percentile(99)
+
+    # -- rates -----------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of wall time, cluster-wide."""
+        if self.wall_seconds <= 0:
+            raise FrameworkError("run has no elapsed time")
+        return self.completed / self.wall_seconds
+
+    @property
+    def goodput(self) -> float:
+        """Steady-state completed-within-SLO requests per second."""
+        if self.wall_seconds <= 0:
+            raise FrameworkError("run has no elapsed time")
+        if self.slo_seconds is None:
+            return self.throughput
+        latencies = self.e2e_latencies()
+        good = sum(1 for lat in latencies
+                   if lat <= self.slo_seconds)
+        return good / self.wall_seconds
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of steady-state completions within the SLO."""
+        if self.slo_seconds is None:
+            return 1.0
+        latencies = self.e2e_latencies()
+        if not latencies:
+            return 1.0
+        good = sum(1 for lat in latencies
+                   if lat <= self.slo_seconds)
+        return good / len(latencies)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered requests that never completed."""
+        if self.offered == 0:
+            return 0.0
+        return 1.0 - self.completed / self.offered
+
+    @property
+    def slo_met(self) -> bool:
+        """The sweep's sustainability criterion, cluster-wide: every
+        request completed and merged p99 within the SLO."""
+        if self.slo_seconds is None:
+            raise FrameworkError("run has no SLO configured")
+        if self.completed < self.offered:
+            return False
+        try:
+            return self.p99 <= self.slo_seconds
+        except ValueError:
+            return False
+
+    @property
+    def degraded(self) -> bool:
+        """True when any host/device failed or work was abandoned."""
+        return bool(self.failures) or self.abandoned > 0
+
+    def per_host_counts(self) -> dict[str, int]:
+        """Completed requests per host (sharding balance check)."""
+        return {s.name: s.result.completed for s in self.shards}
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the run."""
+        dead = sum(1 for s in self.shards if s.killed_at is not None)
+        head = (f"{self.completed}/{self.offered} requests across "
+                f"{self.num_hosts} hosts in {self.wall_seconds:.2f} s")
+        if dead:
+            head += f" ({dead} host{'s' if dead > 1 else ''} died)"
+        try:
+            tail = (f", p50 {self.p50 * 1000:.1f} ms / p99 "
+                    f"{self.p99 * 1000:.1f} ms")
+        except ValueError:
+            return head + ", no completed requests"
+        if self.slo_seconds is not None:
+            tail += (f", goodput {self.goodput:.1f} req/s vs SLO "
+                     f"{self.slo_seconds * 1000:.0f} ms "
+                     f"({'met' if self.slo_met else 'MISSED'})")
+        return head + tail

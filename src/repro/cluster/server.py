@@ -1,0 +1,398 @@
+"""The cluster frontend: shard, spill, re-shard, account.
+
+:class:`ClusterServer` is the rank-0 process of a simulated serving
+cluster.  N host ranks (each a full single-host serving pipeline, see
+:class:`~repro.cluster.host.HostRank`) sit behind it, one bounded
+:class:`~repro.mpi.stream.StreamWindow` shard channel each, all on one
+:class:`~repro.mpi.comm.Communicator` so every push pays the modelled
+interconnect cost.
+
+Routing is consistent-hash first, load-spill second: a request maps
+to its sticky host on the :class:`~repro.cluster.hashring.HashRing`;
+when that shard's outstanding work (frontend ledger: pushed but not
+yet resolved) exceeds ``spill_threshold``, the request spills to the
+least-outstanding live host instead.  Backpressure is per shard — a
+full stream window blocks that shard's pushes without stalling the
+arrival clock or the other shards.
+
+Host failure reuses :class:`~repro.ncsw.faults.FaultPlan`, with the
+``device_index`` read as a host index: at the fault time the whole
+rank dies mid-flight.  The frontend then aborts the shard channel,
+prunes the ring, marks the host dead in the
+:class:`~repro.ncs.health.HealthMonitor`, collects every request the
+dead host owned but never resolved, wipes their partial timestamps
+(:meth:`~repro.serve.workload.Request.reset_for_reshard`) and
+re-shards them to the survivors — or abandons them at the frontend
+when no survivor remains.  Either way the ownership ledger keeps the
+exactly-once invariant: the returned
+:class:`~repro.cluster.result.ClusterResult` proves it in its
+constructor.
+
+Determinism: seeded workload + seeded fault plan + the DES kernel's
+determinism contract = byte-identical cluster reports run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from repro.cluster.hashring import HashRing
+from repro.cluster.host import HostRank
+from repro.cluster.result import ClusterResult, HostShard
+from repro.errors import FrameworkError
+from repro.mpi.comm import (
+    LINK_BANDWIDTH_BYTES_S,
+    LINK_LATENCY_S,
+    Communicator,
+)
+from repro.mpi.stream import StreamWindow
+from repro.ncs.health import HealthMonitor
+from repro.ncsw.faults import DEATH, FailureEvent, FaultPlan
+from repro.ncsw.targets import TargetDevice
+from repro.serve.queue import POLICIES as ADMISSION_POLICIES
+from repro.serve.queue import REJECT_NEWEST
+from repro.serve.server import DEFAULT_MAX_WAIT_S
+from repro.serve.workload import ABANDONED, Request, Workload
+from repro.sim.core import Environment, Event
+
+#: Default per-shard stream window (requests in flight on the wire
+#: plus buffered at the host, before pushes block).
+DEFAULT_WINDOW = 8
+
+
+class ClusterServer:
+    """Sharded multi-host serving over simulated MPI channels."""
+
+    def __init__(self, targets: Sequence[TargetDevice], *,
+                 window: int = DEFAULT_WINDOW,
+                 replicas: int = 64,
+                 spill_threshold: Optional[int] = None,
+                 queue_depth: Optional[int] = 64,
+                 admission: str = REJECT_NEWEST,
+                 max_batch_size: Optional[int] = None,
+                 max_wait_s: float = DEFAULT_MAX_WAIT_S,
+                 slo_seconds: Optional[float] = 0.250,
+                 deadline_seconds: Optional[float] = None,
+                 max_redirects: int = 1,
+                 ewma_alpha: float = 0.2,
+                 warmup: int = 0,
+                 host_faults: Optional[FaultPlan] = None,
+                 latency_s: float = LINK_LATENCY_S,
+                 bandwidth: float = LINK_BANDWIDTH_BYTES_S,
+                 obs=None) -> None:
+        if not targets:
+            raise FrameworkError("cluster needs at least one host")
+        if admission not in ADMISSION_POLICIES:
+            raise FrameworkError(
+                f"unknown admission policy {admission!r}; one of "
+                f"{ADMISSION_POLICIES}")
+        if slo_seconds is not None and slo_seconds <= 0:
+            raise FrameworkError(
+                f"slo_seconds must be positive, got {slo_seconds}")
+        if warmup < 0:
+            raise FrameworkError("warmup must be >= 0")
+        if spill_threshold is not None and spill_threshold < 1:
+            raise FrameworkError(
+                f"spill_threshold must be >= 1, got {spill_threshold}")
+        if host_faults is not None:
+            for fault in host_faults.faults:
+                if fault.kind != DEATH:
+                    raise FrameworkError(
+                        f"host faults support kind {DEATH!r} only "
+                        f"(whole-rank death), got {fault.kind!r}; "
+                        "inject hang/thermal/busy at device level "
+                        "via the host target's fault plan")
+                if fault.device_index >= len(targets):
+                    raise FrameworkError(
+                        f"host fault targets host "
+                        f"{fault.device_index} but the cluster has "
+                        f"{len(targets)} hosts")
+        self.targets = list(targets)
+        self.window = window
+        self.replicas = replicas
+        # Default spill point: the shard's own pipeline capacity —
+        # channel window plus admission queue.  Beyond that, queued
+        # work on the sticky host is pure wait; a less-loaded host
+        # wins even at the cost of breaking stickiness.
+        self.spill_threshold = (
+            spill_threshold if spill_threshold is not None
+            else window + (queue_depth if queue_depth is not None
+                           else 3 * window))
+        self.queue_depth = queue_depth
+        self.admission = admission
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self.slo_seconds = slo_seconds
+        self.deadline_seconds = deadline_seconds
+        self.max_redirects = max_redirects
+        self.ewma_alpha = ewma_alpha
+        self.warmup = warmup
+        self.host_faults = host_faults
+        self.latency_s = latency_s
+        self.bandwidth = bandwidth
+        self.obs = obs
+        #: Health trail of the last run (host-level transitions).
+        self.health: Optional[HealthMonitor] = None
+
+    # -- the run ---------------------------------------------------------
+    def run(self, workload: Workload,
+            num_requests: int) -> ClusterResult:
+        """Serve *num_requests* across the hosts; blocks until every
+        request resolved cluster-wide and returns the roll-up."""
+        requests = workload.requests(
+            num_requests, deadline_s=self.deadline_seconds)
+
+        env = Environment()
+        if self.obs is not None:
+            self.obs.attach(env)
+        self._env = env
+
+        n = len(self.targets)
+        comm = Communicator(env, size=n + 1,
+                            latency_s=self.latency_s,
+                            bandwidth=self.bandwidth)
+        self.hosts = [
+            HostRank(env, rank=i + 1, name=f"host{i}",
+                     target=target,
+                     stream=StreamWindow(comm, source=0, dest=i + 1,
+                                         window=self.window),
+                     on_resolve=self._on_resolve,
+                     queue_depth=self.queue_depth,
+                     admission=self.admission,
+                     max_batch_size=self.max_batch_size,
+                     max_wait_s=self.max_wait_s,
+                     max_redirects=self.max_redirects,
+                     ewma_alpha=self.ewma_alpha)
+            for i, target in enumerate(self.targets)]
+        self._by_name = {h.name: h for h in self.hosts}
+        self.ring = HashRing([h.name for h in self.hosts],
+                             replicas=self.replicas)
+        self.health = HealthMonitor(env)
+        for host in self.hosts:
+            self.health.register(host.name)
+        # Ownership ledger: request id -> (request, owning host), from
+        # push initiation until resolution.  The single source of
+        # truth for what a dead host strands — channel buffers and
+        # queue contents alone undercount in-flight work.
+        self._owned: dict[int, tuple[Request, HostRank]] = {}
+        self._outstanding = {h.name: 0 for h in self.hosts}
+        self._offered = len(requests)
+        self._resolved = 0
+        self._all_resolved = env.event()
+        self._abandoned: list[Request] = []
+        self.failures: list[FailureEvent] = []
+        self.sharded = 0
+        self.spilled = 0
+        self.resharded = 0
+
+        def main() -> Generator[Event, None, tuple[float, float]]:
+            obs = env.obs
+            prep = None
+            if obs is not None:
+                prep = obs.tracer.begin("prepare", track="cluster",
+                                        hosts=n)
+            yield env.all_of([h.prepare() for h in self.hosts])
+            if obs is not None:
+                obs.tracer.end(prep)
+            t0 = env.now
+            lifecycles = [h.start() for h in self.hosts]
+            if self.host_faults is not None:
+                for fault in self.host_faults.faults:
+                    env.process(self._inject_host_fault(fault))
+            yield env.process(self._arrivals(requests))
+            yield self._all_resolved
+            wall = env.now - t0
+            # Orderly shutdown of the survivors: close each shard
+            # channel (EOS), which cascades queue close -> batcher
+            # pill -> backend pill down each host's lifecycle.  Dead
+            # hosts' lifecycles already completed at their death.
+            for host in self.hosts:
+                if not host.dead:
+                    host.stream.close()
+            yield env.all_of(lifecycles)
+            return wall, t0
+
+        wall, epoch = env.run(until=env.process(main()))
+
+        total_completed = sum(h.completed for h in self.hosts)
+        shards = [HostShard(rank=h.rank, name=h.name,
+                            result=h.result(self.slo_seconds, wall,
+                                            epoch),
+                            killed_at=h.died_at,
+                            resharded=h.resharded)
+                  for h in self.hosts]
+        return ClusterResult(
+            offered=self._offered,
+            shards=shards,
+            wall_seconds=wall,
+            prepare_seconds=epoch,
+            slo_seconds=self.slo_seconds,
+            warmup=min(self.warmup, total_completed),
+            frontend_abandoned=len(self._abandoned),
+            abandoned_requests=self._abandoned,
+            failures=self.failures,
+            sharded=self.sharded,
+            spilled=self.spilled,
+            resharded=self.resharded,
+        )
+
+    # -- arrivals and routing -------------------------------------------
+    def _arrivals(self, requests: list[Request]
+                  ) -> Generator[Event, None, None]:
+        """Open-loop arrivals, rebased onto the sim clock at rank 0."""
+        env = self._env
+        obs = env.obs
+        epoch = env.now
+        for request in requests:
+            request.arrival_time += epoch
+            if request.deadline_at is not None:
+                request.deadline_at += epoch
+            if request.arrival_time > env.now:
+                yield env.timeout(request.arrival_time - env.now)
+            if obs is not None:
+                obs.metrics.counter("cluster.offered").inc()
+            self._dispatch(request)
+
+    def _dispatch(self, request: Request) -> Optional[Event]:
+        """Shard one request; abandon it when no live host remains."""
+        host = self._route(request)
+        if host is None:
+            self._frontend_abandon(request)
+            return None
+        return self._send(host, request)
+
+    def _route(self, request: Request) -> Optional[HostRank]:
+        """Sticky host by consistent hash, spill on backlog."""
+        if self.health.live_count() == 0:
+            return None
+        preferred = self._by_name[self.ring.lookup(request.request_id)]
+        if self._outstanding[preferred.name] < self.spill_threshold:
+            return preferred
+        live = [h for h in self.hosts if not h.dead]
+        choice = min(live, key=lambda h: (self._outstanding[h.name],
+                                          h.rank))
+        if choice is not preferred:
+            self.spilled += 1
+            obs = self._env.obs
+            if obs is not None:
+                obs.metrics.counter("cluster.spilled").inc()
+        return choice
+
+    def _send(self, host: HostRank, request: Request) -> Event:
+        """Push to a shard channel and take ownership note."""
+        self._owned[request.request_id] = (request, host)
+        self._outstanding[host.name] += 1
+        self.sharded += 1
+        obs = self._env.obs
+        if obs is not None:
+            obs.metrics.counter("cluster.sharded").inc()
+            obs.metrics.gauge(
+                f"cluster.outstanding.{host.name}").set(
+                    self._outstanding[host.name])
+        return host.stream.push(request)
+
+    # -- resolution ------------------------------------------------------
+    def _on_resolve(self, host: HostRank, request: Request) -> None:
+        """A host resolved a request it owned (any terminal state)."""
+        entry = self._owned.pop(request.request_id, None)
+        if entry is None:
+            raise FrameworkError(
+                f"request {request.request_id} resolved by "
+                f"{host.name} but not in the ownership ledger: the "
+                "cluster exactly-once invariant is broken")
+        owner = entry[1]
+        self._outstanding[owner.name] -= 1
+        obs = self._env.obs
+        if obs is not None:
+            obs.metrics.gauge(
+                f"cluster.outstanding.{owner.name}").set(
+                    self._outstanding[owner.name])
+        self._count_resolved()
+
+    def _frontend_abandon(self, request: Request) -> None:
+        """No live host: the frontend is the terminal resolver."""
+        request.status = ABANDONED
+        self._abandoned.append(request)
+        obs = self._env.obs
+        if obs is not None:
+            obs.metrics.counter("cluster.abandoned").inc()
+            obs.tracer.instant("request_abandoned", track="cluster",
+                               request=request.request_id)
+        self._count_resolved()
+
+    def _count_resolved(self) -> None:
+        self._resolved += 1
+        if self._resolved > self._offered:
+            raise FrameworkError(
+                "request resolved twice: cluster accounting is "
+                "broken")
+        if self._resolved == self._offered:
+            self._all_resolved.succeed()
+
+    # -- host failure ----------------------------------------------------
+    def _inject_host_fault(self, fault
+                           ) -> Generator[Event, None, None]:
+        """Fault-plan injector: kill one whole rank at its time."""
+        env = self._env
+        if fault.at > env.now:
+            yield env.timeout(fault.at - env.now)
+        self._kill_host(self.hosts[fault.device_index])
+
+    def _kill_host(self, host: HostRank) -> None:
+        """Death of a rank: drain, re-shard, account — lose nothing."""
+        if host.dead:
+            return
+        env = self._env
+        host.kill()
+        self.health.mark_dead(host.name, reason="host fault injected")
+        self.ring.remove(host.name)
+        # Everything the dead host owned but never resolved: channel
+        # backlog, queued, batching, in-flight — the ledger sees all.
+        stranded = sorted(
+            (req for req, owner in self._owned.values()
+             if owner is host),
+            key=lambda r: r.request_id)
+        for request in stranded:
+            del self._owned[request.request_id]
+            self._outstanding[host.name] -= 1
+            request.reset_for_reshard()
+        event = FailureEvent(
+            device=host.name, worker=f"rank{host.rank}",
+            time=env.now, kind=DEATH,
+            detail=(f"rank {host.rank} killed mid-serve; "
+                    f"{len(stranded)} owned requests stranded"),
+            requeued=len(stranded), scope="host")
+        host.failure = event
+        host.resharded = len(stranded)
+        self.failures.append(event)
+        obs = env.obs
+        if obs is not None:
+            obs.metrics.counter("cluster.host_deaths").inc()
+            obs.tracer.instant("host_killed", track="cluster",
+                               host=host.name,
+                               stranded=len(stranded))
+        if not stranded:
+            return
+        if self.health.live_count() > 0:
+            self.resharded += len(stranded)
+            if obs is not None:
+                obs.metrics.counter("cluster.resharded").inc(
+                    len(stranded))
+            env.process(self._reshard(stranded))
+        else:
+            for request in stranded:
+                self._frontend_abandon(request)
+
+    def _reshard(self, stranded: list[Request]
+                 ) -> Generator[Event, None, None]:
+        """Re-inject stranded requests, one push at a time.
+
+        Serial re-injection keeps the survivors' backpressure honest:
+        each push waits for its window slot before the next request
+        commits to a host, so a mass re-shard cannot teleport a dead
+        host's whole backlog past the channel bound.
+        """
+        for request in stranded:
+            event = self._dispatch(request)
+            if event is not None:
+                yield event

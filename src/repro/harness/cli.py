@@ -100,6 +100,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  chaos-run    seeded fault-injection sweep (kill stick k)")
     print("  serve-run    open-loop serving run with an SLO report")
     print("  serve-sweep  max sustainable arrival rate per config")
+    print("  cluster-run  sharded multi-host serving run (MPI sim)")
+    print("  cluster-sweep  max sustainable rate per cluster size")
     print("  perf-run     wall-clock perf suite (BENCH_PR4.json gate)")
     return 0
 
@@ -559,6 +561,211 @@ def _cmd_serve_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_targets(hosts: int, spec: str):
+    """One fresh target per host from a spec like ``vpu2`` or
+    ``vpu4,cpu``.
+
+    Tokens cycle across the hosts, so ``--hosts 4 --host-backends
+    vpu2,cpu`` alternates VPU and CPU hosts.  Every host gets its own
+    target instance — cluster hosts share nothing but the simulated
+    interconnect.
+    """
+    from repro.harness.experiment import (
+        paper_timing_graph,
+        paper_timing_network,
+    )
+    from repro.ncsw import IntelCPU, IntelVPU, NvGPU
+
+    if hosts < 1:
+        print(f"--hosts: need at least 1 host, got {hosts}")
+        return None
+    tokens = [t.strip() for t in spec.split(",") if t.strip()]
+    if not tokens:
+        print("--host-backends: no tokens given")
+        return None
+    targets = []
+    for i in range(hosts):
+        token = tokens[i % len(tokens)]
+        if token == "cpu":
+            targets.append(IntelCPU(paper_timing_network(),
+                                    functional=False))
+        elif token == "gpu":
+            targets.append(NvGPU(paper_timing_network(),
+                                 functional=False))
+        elif token.startswith("vpu") and token[3:].isdigit():
+            targets.append(IntelVPU(
+                graph=paper_timing_graph(),
+                num_devices=int(token[3:]), functional=False))
+        else:
+            print(f"--host-backends: unknown token {token!r} "
+                  "(expected cpu, gpu or vpuN)")
+            return None
+    return targets
+
+
+def _cluster_server(args: argparse.Namespace, targets, *,
+                    host_faults=None, obs=None):
+    from repro.cluster import ClusterServer
+
+    return ClusterServer(
+        targets,
+        window=args.window,
+        spill_threshold=args.spill_threshold,
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+        max_batch_size=args.max_batch,
+        max_wait_s=args.max_wait / 1000.0,
+        slo_seconds=args.slo / 1000.0,
+        deadline_seconds=(args.deadline / 1000.0
+                          if args.deadline is not None else None),
+        warmup=args.warmup,
+        host_faults=host_faults,
+        obs=obs)
+
+
+def _cmd_cluster_run(args: argparse.Namespace) -> int:
+    """One sharded cluster serving run with a full roll-up report.
+
+    With ``--kill-host`` a healthy baseline runs first to locate the
+    serving window, then the measured run kills that whole rank at
+    ``--kill-at`` of the baseline's serving wall time — the cluster
+    analogue of ``serve-run --kill-stick``, except an entire host
+    (channel, queue, batcher, backends) dies and its owned requests
+    re-shard to the survivors.  Exits non-zero when nothing completes.
+    """
+    from repro.cluster import render_cluster_report
+    from repro.serve import PoissonWorkload
+
+    if not 0.0 <= args.kill_at <= 1.0:
+        print(f"--kill-at must be in [0, 1], got {args.kill_at}")
+        return 2
+    if (args.kill_host is not None
+            and not 0 <= args.kill_host < args.hosts):
+        print(f"--kill-host must be in [0, {args.hosts - 1}], "
+              f"got {args.kill_host}")
+        return 2
+    workload = PoissonWorkload(rate=args.rate, seed=args.seed)
+
+    host_faults = None
+    if args.kill_host is not None:
+        from repro.ncsw import FaultPlan
+
+        targets = _cluster_targets(args.hosts, args.host_backends)
+        if targets is None:
+            return 2
+        base = _cluster_server(args, targets).run(workload,
+                                                  args.requests)
+        kill_time = (base.prepare_seconds
+                     + args.kill_at * base.wall_seconds)
+        host_faults = FaultPlan.kill(args.kill_host, kill_time)
+        print(f"baseline: {base.summary()}")
+        print(f"chaos: kill host {args.kill_host} (whole rank "
+              f"{args.kill_host + 1}) at {kill_time * 1000:.2f} ms "
+              f"(serving start + {args.kill_at:.0%} of wall)")
+        print()
+
+    targets = _cluster_targets(args.hosts, args.host_backends)
+    if targets is None:
+        return 2
+    obs = _obs_from_args(args)
+    result = _cluster_server(args, targets, host_faults=host_faults,
+                             obs=obs).run(workload, args.requests)
+    print(render_cluster_report(result,
+                                workload=workload.describe()))
+    if obs is not None:
+        print()
+    _finish_trace(args, obs)
+    return 0 if result.completed > 0 else 1
+
+
+def _cluster_sweep_point(args: argparse.Namespace, hosts: int):
+    """Worker for one cluster-sweep host count.
+
+    The bracket is twice the summed closed-loop capacity of the host
+    targets (each unique backend token measured once).  Every probe
+    builds a fresh cluster and reseeds the workload, mirroring
+    ``serve-sweep``'s independence contract, so host counts fan
+    across processes without changing any probe's outcome.  Returns
+    ``(capacity, SweepResult)`` or ``None`` for an invalid spec.
+    """
+    from repro.ncsw import NCSw, SyntheticSource
+    from repro.serve import PoissonWorkload, find_max_rate
+
+    tokens = [t.strip() for t in args.host_backends.split(",")
+              if t.strip()]
+    capacity = 0.0
+    per_token: dict[str, float] = {}
+    for i in range(hosts):
+        token = tokens[i % len(tokens)] if tokens else ""
+        if token not in per_token:
+            single = _cluster_targets(1, token)
+            if single is None:
+                return None
+            target = single[0]
+            fw = NCSw()
+            fw.add_source("synthetic", SyntheticSource(64))
+            fw.add_target(token, target)
+            batch = max(1, target.preferred_batch_size)
+            per_token[token] = fw.run(
+                "synthetic", token, batch_size=batch).throughput()
+        capacity += per_token[token]
+
+    def run_at(rate: float, hosts=hosts):
+        targets = _cluster_targets(hosts, args.host_backends)
+        srv = _cluster_server(args, targets)
+        return srv.run(PoissonWorkload(rate=rate, seed=args.seed),
+                       args.requests)
+
+    sweep = find_max_rate(run_at, slo_seconds=args.slo / 1000.0,
+                          hi=2.0 * capacity, steps=args.steps,
+                          label=f"hosts={hosts}")
+    return capacity, sweep
+
+
+def _cmd_cluster_sweep(args: argparse.Namespace) -> int:
+    """Max sustainable arrival rate per cluster size.
+
+    The cluster analogue of ``serve-sweep``: each ``--hosts`` count
+    becomes one sharded-cluster configuration and the sweep bisects
+    its maximum sustainable arrival rate under the shared SLO — the
+    hosts-scaling curve (how close does N hosts get to N times one
+    host's rate).  ``--smoke`` shrinks everything to CI size.
+    """
+    from functools import partial
+
+    from repro.harness.experiment import parallel_map
+    from repro.serve import render_sweep_table
+
+    if args.smoke:
+        args.requests = min(args.requests, 96)
+        args.steps = min(args.steps, 3)
+        if args.hosts is None:
+            args.hosts = "1,2"
+    if args.hosts is None:
+        args.hosts = "1,2,4,8"
+    try:
+        counts = [int(t) for t in args.hosts.split(",") if t.strip()]
+    except ValueError:
+        print(f"--hosts: expected a comma list of host counts, "
+              f"got {args.hosts!r}")
+        return 2
+    if not counts or any(n < 1 for n in counts):
+        print(f"--hosts: host counts must be >= 1, got {args.hosts!r}")
+        return 2
+    outcomes = parallel_map(partial(_cluster_sweep_point, args),
+                            counts, jobs=args.jobs)
+    if any(o is None for o in outcomes):
+        return 2
+    results = []
+    for capacity, sweep in outcomes:
+        print(f"{sweep.summary()} "
+              f"(closed-loop capacity {capacity:.1f} img/s)")
+        results.append(sweep)
+    print()
+    print(render_sweep_table(results))
+    return 0
+
+
 def _cmd_perf_run(args: argparse.Namespace) -> int:
     """Time the wall-clock perf suite; write and/or check BENCH json.
 
@@ -770,6 +977,87 @@ def build_parser() -> argparse.ArgumentParser:
              "(results identical to --jobs 1)")
     serve_sweep.set_defaults(requests=200)
 
+    cluster_common = argparse.ArgumentParser(add_help=False)
+    cluster_common.add_argument(
+        "--host-backends", default="vpu2", metavar="SPEC",
+        help="comma list of per-host targets, cycled across hosts "
+             "(cpu / gpu / vpuN tokens; default vpu2)")
+    cluster_common.add_argument(
+        "--requests", type=int, default=400,
+        help="requests per run (default 400)")
+    cluster_common.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (same seed -> byte-identical run)")
+    cluster_common.add_argument(
+        "--slo", type=float, default=500.0, metavar="MS",
+        help="p99 end-to-end latency objective in ms (default 500)")
+    cluster_common.add_argument(
+        "--deadline", type=float, default=None, metavar="MS",
+        help="per-request queue deadline in ms (default: none)")
+    cluster_common.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="per-host admission queue bound (default 64)")
+    cluster_common.add_argument(
+        "--admission", default="reject-newest",
+        choices=["block", "shed-oldest", "reject-newest"],
+        help="per-host overload policy")
+    cluster_common.add_argument(
+        "--max-batch", type=int, default=None,
+        help="batch size cap (default: backend preference)")
+    cluster_common.add_argument(
+        "--max-wait", type=float, default=2.0, metavar="MS",
+        help="dynamic batcher window in ms (default 2)")
+    cluster_common.add_argument(
+        "--warmup", type=int, default=0,
+        help="leading completions excluded from latency stats")
+    cluster_common.add_argument(
+        "--window", type=int, default=8,
+        help="per-shard stream window (default 8)")
+    cluster_common.add_argument(
+        "--spill-threshold", type=int, default=None, metavar="N",
+        help="outstanding requests before a shard spills to the "
+             "least-loaded host (default: window + queue depth)")
+
+    cluster_run = sub.add_parser(
+        "cluster-run", parents=[cluster_common],
+        help="one sharded multi-host serving run with roll-up report")
+    cluster_run.add_argument(
+        "--hosts", type=int, default=4,
+        help="number of serving hosts / ranks (default 4)")
+    cluster_run.add_argument(
+        "--rate", type=float, default=100.0,
+        help="Poisson arrival rate in req/s (default 100)")
+    cluster_run.add_argument(
+        "--kill-host", type=int, default=None, metavar="K",
+        help="kill whole host K mid-run (runs a baseline first)")
+    cluster_run.add_argument(
+        "--kill-at", type=float, default=0.5, metavar="FRAC",
+        help="kill time as a fraction of the baseline's serving "
+             "wall time (default 0.5)")
+    cluster_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a Perfetto trace (one process group per rank) "
+             "+ utilisation report")
+
+    cluster_sweep = sub.add_parser(
+        "cluster-sweep", parents=[cluster_common],
+        help="max sustainable arrival rate per cluster size")
+    cluster_sweep.add_argument(
+        "--hosts", default=None, metavar="LIST",
+        help="comma list of host counts to sweep "
+             "(default 1,2,4,8; 1,2 with --smoke)")
+    cluster_sweep.add_argument(
+        "--steps", type=int, default=8,
+        help="bisection steps per host count (default 8)")
+    cluster_sweep.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep (96 requests, 3 steps, hosts 1,2)")
+    cluster_sweep.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan host counts across N processes "
+             "(results identical to --jobs 1)")
+    cluster_sweep.set_defaults(requests=200)
+
     perf_run = sub.add_parser(
         "perf-run",
         help="time the wall-clock perf suite; write / check "
@@ -818,6 +1106,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve_run(args)
     if args.command == "serve-sweep":
         return _cmd_serve_sweep(args)
+    if args.command == "cluster-run":
+        return _cmd_cluster_run(args)
+    if args.command == "cluster-sweep":
+        return _cmd_cluster_sweep(args)
     if args.command == "perf-run":
         return _cmd_perf_run(args)
     raise AssertionError("unreachable")

@@ -15,7 +15,7 @@ from typing import Any, Generator
 
 from repro.errors import SimulationError
 from repro.mpi.comm import Communicator
-from repro.sim.core import Event
+from repro.sim.core import PENDING, Event
 from repro.sim.resources import Store
 
 
@@ -67,6 +67,43 @@ class StreamWindow:
             yield self._buffer.put(self._EOS)
 
         return env.process(do_close())
+
+    @property
+    def closed(self) -> bool:
+        """True once the stream was closed or aborted."""
+        return self._closed
+
+    def abort(self) -> list[Any]:
+        """Tear the stream down mid-flight (consumer rank died).
+
+        Unlike :meth:`close`, which lets buffered items drain, abort
+        cuts the channel *now*: every undelivered item — the window's
+        buffered backlog plus the payloads of pushes still blocked on
+        a full window — is pulled out and returned to the caller, and
+        an EOS lands in the emptied window so pending and future pops
+        resolve to ``None``.  Blocked producers are released (their
+        put events succeed) so push processes terminate instead of
+        waiting on a rank that will never drain them.
+
+        Pushes whose simulated wire transfer is still in flight at
+        abort time are *not* in the returned list — their items land
+        in the dead window behind the EOS, where no consumer pop can
+        reach them.  Callers needing exactly-once delivery must track
+        ownership of in-flight items themselves (the cluster frontend
+        does), not rely on the stream's backlog alone.
+        """
+        self._closed = True
+        buffer = self._buffer
+        stranded = [item for item in buffer.items
+                    if item is not self._EOS]
+        buffer.items.clear()
+        for put in list(buffer._putters):
+            if put._value is PENDING:
+                stranded.append(put.item)
+                put.succeed()
+        buffer._putters.clear()
+        buffer.put(self._EOS)  # wakes pending pops with EOS -> None
+        return stranded
 
     def pop(self) -> Event:
         """Consumer side: event -> next item, or ``None`` at EOS."""

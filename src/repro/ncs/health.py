@@ -99,3 +99,15 @@ class HealthMonitor:
     def dead(self) -> list[str]:
         """Devices written off, in registration order."""
         return [d for d, s in self._status.items() if s == DEAD]
+
+    def live_count(self) -> int:
+        """Number of devices not yet written off.
+
+        The cluster frontend's quorum check: re-sharding after a host
+        death is only possible while this stays positive.
+        """
+        return sum(1 for s in self._status.values() if s != DEAD)
+
+    def dead_count(self) -> int:
+        """Number of devices written off."""
+        return sum(1 for s in self._status.values() if s == DEAD)

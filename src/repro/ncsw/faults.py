@@ -81,6 +81,9 @@ class FailureEvent:
     kind: str  #: ``death`` / ``hang`` / ``thermal`` / ``busy``
     detail: str = ""
     requeued: int = 0  #: work items drained back for reassignment
+    #: What failed: ``device`` for a single stick, ``host`` when a
+    #: whole cluster rank (frontend's view of one serving host) died.
+    scope: str = "device"
 
 
 @dataclass

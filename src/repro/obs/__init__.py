@@ -41,6 +41,7 @@ from repro.obs.report import (
     device_failures,
     device_utilisation,
     link_occupancy,
+    rank_activity,
     serving_activity,
     utilisation_report,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "device_failures",
     "device_utilisation",
     "link_occupancy",
+    "rank_activity",
     "serving_activity",
     "utilisation_report",
 ]

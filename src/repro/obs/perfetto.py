@@ -9,18 +9,34 @@ timeline with load/execute/read phases visibly overlapped per stick.
 
 Simulated seconds map to trace microseconds (the format's native
 unit).
+
+Cluster runs name their per-host tracks ``rank<N>/...``; each rank
+becomes its own synthetic *process* in the trace (pid ``TRACE_PID + N``,
+process name ``rank N``), so a multi-host run renders as one process
+group per host instead of a flat thread soup.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
-from typing import Any
+from typing import Any, Optional
 
 from repro.obs.session import ObsSession
 
-#: Synthetic process id every track lives under.
+#: Synthetic process id every non-rank track lives under.
 TRACE_PID = 1
+
+#: Track-name prefix that routes a track into a per-rank process.
+_RANK_RE = re.compile(r"^rank(\d+)(?:/|$)")
+
+
+def _rank_of(track: str) -> Optional[int]:
+    """The MPI rank a track belongs to, or None for the main process."""
+    match = _RANK_RE.match(track)
+    return int(match.group(1)) if match else None
+
 
 #: Conversion from simulated seconds to trace microseconds.
 US_PER_SECOND = 1e6
@@ -43,14 +59,29 @@ def to_chrome_trace(session: ObsSession) -> dict[str, Any]:
         "args": {"name": "repro simulation"},
     }]
     tids: dict[str, int] = {}
+    pids: dict[str, int] = {}
+    named_rank_pids: set[int] = set()
     for i, track in enumerate(sorted(tracer.tracks()), start=1):
+        rank = _rank_of(track)
+        pid = TRACE_PID if rank is None else TRACE_PID + rank
         tids[track] = i
+        pids[track] = pid
+        if rank is not None and pid not in named_rank_pids:
+            named_rank_pids.add(pid)
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid,
+                "tid": 0, "args": {"name": f"rank {rank}"},
+            })
+            events.append({
+                "name": "process_sort_index", "ph": "M", "pid": pid,
+                "tid": 0, "args": {"sort_index": rank},
+            })
         events.append({
-            "name": "thread_name", "ph": "M", "pid": TRACE_PID,
+            "name": "thread_name", "ph": "M", "pid": pid,
             "tid": i, "args": {"name": track},
         })
         events.append({
-            "name": "thread_sort_index", "ph": "M", "pid": TRACE_PID,
+            "name": "thread_sort_index", "ph": "M", "pid": pid,
             "tid": i, "args": {"sort_index": i},
         })
 
@@ -63,7 +94,7 @@ def to_chrome_trace(session: ObsSession) -> dict[str, Any]:
             args["unfinished"] = True
         events.append({
             "name": span.name, "cat": "sim", "ph": "X",
-            "pid": TRACE_PID, "tid": tids[span.track],
+            "pid": pids[span.track], "tid": tids[span.track],
             "ts": span.start * US_PER_SECOND,
             "dur": (end - span.start) * US_PER_SECOND,
             "args": args,

@@ -11,6 +11,7 @@ every counter, and every histogram's p50/p95/p99.
 
 from __future__ import annotations
 
+import re
 from typing import Optional
 
 from repro.obs.session import ObsSession
@@ -99,6 +100,30 @@ def serving_activity(session: ObsSession) -> dict[str, float]:
     return ordered
 
 
+#: Counter pattern of a cluster host rank (``rank<N>.<metric>``).
+_RANK_COUNTER_RE = re.compile(r"^rank(\d+)\.(.+)$")
+
+
+def rank_activity(session: ObsSession
+                  ) -> dict[str, dict[str, float]]:
+    """Per-rank serving counters of a cluster run, rank order.
+
+    Keys are ``rank<N>`` track names; each value maps the rank's
+    counter suffixes (``completed``, ``timed_out``, ...) to values.
+    Empty when no :class:`~repro.cluster.server.ClusterServer` run was
+    recorded in this session.
+    """
+    table: dict[int, dict[str, float]] = {}
+    for counter in session.metrics.counters():
+        match = _RANK_COUNTER_RE.match(counter.name)
+        if match is None or not counter.value:
+            continue
+        rank = int(match.group(1))
+        table.setdefault(rank, {})[match.group(2)] = counter.value
+    return {f"rank{rank}": dict(sorted(table[rank].items()))
+            for rank in sorted(table)}
+
+
 def link_occupancy(session: ObsSession,
                    wall_seconds: Optional[float] = None
                    ) -> dict[str, float]:
@@ -158,6 +183,15 @@ def utilisation_report(session: ObsSession,
         lines.append(f"  {'serving':<28} {'requests':>10}")
         for name, value in serving.items():
             lines.append(f"  {name:<28} {value:>10.0f}")
+
+    ranks = rank_activity(session)
+    if ranks:
+        lines.append("")
+        lines.append(f"  {'per-rank serving':<28} {'requests':>10}")
+        for rank, metrics in ranks.items():
+            for name, value in metrics.items():
+                lines.append(
+                    f"  {rank + '.' + name:<28} {value:>10.0f}")
 
     links = link_occupancy(session, wall)
     if links:

@@ -29,7 +29,7 @@ from repro.errors import FrameworkError
 from repro.serve.queue import AdmissionQueue
 from repro.serve.router import Router
 from repro.serve.workload import TIMED_OUT, Request
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, Interrupt, Process
 
 
 class DynamicBatcher:
@@ -39,8 +39,8 @@ class DynamicBatcher:
                  router: Router,
                  max_batch_size: Optional[int] = None,
                  max_wait_s: float = 0.002,
-                 on_timeout: Optional[Callable[[Request], None]] = None
-                 ) -> None:
+                 on_timeout: Optional[Callable[[Request], None]] = None,
+                 metrics_prefix: str = "serve") -> None:
         if max_batch_size is not None and max_batch_size < 1:
             raise FrameworkError(
                 f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -53,12 +53,32 @@ class DynamicBatcher:
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_s
         self.on_timeout = on_timeout
+        #: Metric/track namespace — cluster hosts use ``rank<N>``.
+        self.metrics_prefix = metrics_prefix
+        self.track = f"{metrics_prefix}/batcher"
         self.timed_out_count = 0
         self.batches_formed = 0
+        self._process: Optional[Process] = None
+        self._pending_get = None
 
     def run(self) -> Event:
         """Start the batcher process; completes at the poison pill."""
-        return self.env.process(self._run())
+        self._process = self.env.process(self._run())
+        return self._process
+
+    def halt(self) -> None:
+        """Stop the batcher immediately (cluster host death).
+
+        Any half-formed window is simply dropped: its requests keep
+        their PENDING status and stay owned by whoever dispatched them
+        (the cluster frontend re-shards them).  The pending queue get,
+        if any, is withdrawn so it cannot swallow a later item.
+        """
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("halt")
+        if self._pending_get is not None:
+            self.queue.cancel(self._pending_get)
+            self._pending_get = None
 
     def _batch_cap(self) -> int:
         """Size cap for the next window (explicit or backend hint)."""
@@ -80,8 +100,10 @@ class DynamicBatcher:
             item.status = TIMED_OUT
             obs = self.env.obs
             if obs is not None:
-                obs.metrics.counter("serve.timed_out").inc()
-                obs.tracer.instant("request_timed_out", track="serve",
+                obs.metrics.counter(
+                    f"{self.metrics_prefix}.timed_out").inc()
+                obs.tracer.instant("request_timed_out",
+                                   track=self.metrics_prefix,
                                    request=item.request_id)
             if self.on_timeout is not None:
                 self.on_timeout(item)
@@ -90,46 +112,56 @@ class DynamicBatcher:
 
     def _run(self) -> Generator[Event, None, None]:
         obs = self.env.obs
-        while True:
-            first: Optional[Request] = None
-            while first is None:
-                item = yield self.queue.get()
-                if item is None:
-                    return  # poison pill: workload drained
-                first = self._take(item)
-            cap = self._batch_cap()
-            batch = [first]
-            span = None
-            if obs is not None:
-                span = obs.tracer.begin("form_batch",
-                                        track="serve/batcher",
-                                        first=first.request_id)
-            window = self.env.timeout(self.max_wait_s)
-            closed = False
-            while len(batch) < cap:
-                get_ev = self.queue.get()
-                yield self.env.any_of([get_ev, window])
-                if not get_ev.triggered:
-                    # Window expired first: withdraw the pending get
-                    # so it cannot swallow a later request unseen.
-                    self.queue.cancel(get_ev)
-                    break
-                item = get_ev.value
-                if item is None:
-                    closed = True  # pill inside a window: flush + stop
-                    break
-                taken = self._take(item)
-                if taken is not None:
-                    batch.append(taken)
-            self.batches_formed += 1
-            if obs is not None:
-                obs.tracer.end(span)
-                obs.metrics.histogram("serve.batch_size").observe(
-                    len(batch))
-            # Yield the dispatch: when every backend's slots are full
-            # this is where the batcher stalls, so overload backlog
-            # builds in the admission queue (whose policy handles it)
-            # rather than in an unbounded per-backend buffer.
-            yield self.router.dispatch(batch)
-            if closed:
-                return
+        try:
+            while True:
+                first: Optional[Request] = None
+                while first is None:
+                    get_ev = self.queue.get()
+                    self._pending_get = get_ev
+                    item = yield get_ev
+                    self._pending_get = None
+                    if item is None:
+                        return  # poison pill: workload drained
+                    first = self._take(item)
+                cap = self._batch_cap()
+                batch = [first]
+                span = None
+                if obs is not None:
+                    span = obs.tracer.begin("form_batch",
+                                            track=self.track,
+                                            first=first.request_id)
+                window = self.env.timeout(self.max_wait_s)
+                closed = False
+                while len(batch) < cap:
+                    get_ev = self.queue.get()
+                    self._pending_get = get_ev
+                    yield self.env.any_of([get_ev, window])
+                    self._pending_get = None
+                    if not get_ev.triggered:
+                        # Window expired first: withdraw the pending get
+                        # so it cannot swallow a later request unseen.
+                        self.queue.cancel(get_ev)
+                        break
+                    item = get_ev.value
+                    if item is None:
+                        closed = True  # pill in a window: flush + stop
+                        break
+                    taken = self._take(item)
+                    if taken is not None:
+                        batch.append(taken)
+                self.batches_formed += 1
+                if obs is not None:
+                    obs.tracer.end(span)
+                    obs.metrics.histogram(
+                        f"{self.metrics_prefix}.batch_size").observe(
+                        len(batch))
+                # Yield the dispatch: when every backend's slots are
+                # full this is where the batcher stalls, so overload
+                # backlog builds in the admission queue (whose policy
+                # handles it) rather than an unbounded per-backend
+                # buffer.
+                yield self.router.dispatch(batch)
+                if closed:
+                    return
+        except Interrupt:
+            return  # halted: host died, frontend re-shards the window

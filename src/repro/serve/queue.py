@@ -50,8 +50,8 @@ class AdmissionQueue:
     def __init__(self, env: Environment,
                  depth: Optional[int] = None,
                  policy: str = REJECT_NEWEST,
-                 on_drop: Optional[Callable[[Request], None]] = None
-                 ) -> None:
+                 on_drop: Optional[Callable[[Request], None]] = None,
+                 name: str = "serve") -> None:
         if depth is not None and depth < 1:
             raise FrameworkError(f"depth must be >= 1, got {depth}")
         if policy not in POLICIES:
@@ -62,6 +62,9 @@ class AdmissionQueue:
         self.depth = depth
         self.policy = policy
         self.on_drop = on_drop
+        #: Metric/track namespace — cluster hosts use ``rank<N>`` so
+        #: per-host queues stay distinguishable in one obs session.
+        self.name = name
         # The store itself is bounded only under ``block``: the other
         # policies resolve overload at admission time and must never
         # stall the arrival clock.
@@ -103,8 +106,9 @@ class AdmissionQueue:
                 self.rejected_count += 1
                 request.status = REJECTED
                 if obs is not None:
-                    obs.metrics.counter("serve.rejected").inc()
-                    obs.tracer.instant("request_rejected", track="serve",
+                    obs.metrics.counter(f"{self.name}.rejected").inc()
+                    obs.tracer.instant("request_rejected",
+                                       track=self.name,
                                        request=request.request_id)
                 if self.on_drop is not None:
                     self.on_drop(request)
@@ -119,7 +123,7 @@ class AdmissionQueue:
         request.admitted_at = self.env.now
         obs = self.env.obs
         if obs is not None:
-            obs.metrics.gauge("serve.queue_depth").set(len(self))
+            obs.metrics.gauge(f"{self.name}.queue_depth").set(len(self))
 
     def _shed_oldest(self) -> None:
         items = self._store.items
@@ -133,8 +137,8 @@ class AdmissionQueue:
         victim.status = SHED
         obs = self.env.obs
         if obs is not None:
-            obs.metrics.counter("serve.shed").inc()
-            obs.tracer.instant("request_shed", track="serve",
+            obs.metrics.counter(f"{self.name}.shed").inc()
+            obs.tracer.instant("request_shed", track=self.name,
                                request=victim.request_id)
         if self.on_drop is not None:
             self.on_drop(victim)
@@ -150,7 +154,20 @@ class AdmissionQueue:
     def _on_take(self, event: Event) -> None:
         obs = self.env.obs
         if obs is not None and event._ok:
-            obs.metrics.gauge("serve.queue_depth").set(len(self))
+            obs.metrics.gauge(f"{self.name}.queue_depth").set(len(self))
+
+    def drain(self) -> list[Request]:
+        """Remove and return every queued request, without resolving.
+
+        Host-death path: the cluster frontend re-shards the drained
+        requests to surviving hosts, so the queue must give them back
+        unresolved instead of shedding them.  Poison pills (if any)
+        stay queued.
+        """
+        items = self._store.items
+        drained = [item for item in items if item is not None]
+        items[:] = [item for item in items if item is None]
+        return drained
 
     def cancel(self, event: StoreGet) -> None:
         """Withdraw a pending :meth:`get` (see ``Store.cancel``)."""

@@ -33,7 +33,7 @@ from repro.errors import FrameworkError
 from repro.ncsw.sources import WorkItem
 from repro.ncsw.targets import TargetDevice
 from repro.serve.workload import ABANDONED, COMPLETED, Request
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, Interrupt, Process
 from repro.sim.resources import Store
 
 #: Routing policies.
@@ -49,7 +49,8 @@ class Backend:
 
     def __init__(self, env: Environment, name: str,
                  target: TargetDevice,
-                 max_pending_batches: int = 1) -> None:
+                 max_pending_batches: int = 1,
+                 metrics_prefix: str = "serve") -> None:
         if max_pending_batches < 1:
             raise FrameworkError(
                 f"max_pending_batches must be >= 1, got "
@@ -57,6 +58,10 @@ class Backend:
         self.env = env
         self.name = name
         self.target = target
+        #: Metric/track namespace — cluster hosts use ``rank<N>`` so
+        #: per-host backends stay distinguishable in one obs session.
+        self.metrics_prefix = metrics_prefix
+        self.track = f"{metrics_prefix}/{name}"
         # Bounded dispatch: one batch executes while at most
         # ``max_pending_batches`` wait here.  The bound is what pushes
         # overload back into the admission queue (where shed/reject
@@ -70,7 +75,7 @@ class Backend:
         self.ewma_latency: Optional[float] = None
         self.served = 0
         self.batches = 0
-        self._process: Optional[Event] = None
+        self._process: Optional[Process] = None
 
     @property
     def alive(self) -> bool:
@@ -94,12 +99,25 @@ class Backend:
         obs = self.env.obs
         if obs is not None:
             obs.metrics.gauge(
-                f"serve.outstanding.{self.name}").set(self.outstanding)
+                f"{self.metrics_prefix}.outstanding.{self.name}").set(
+                    self.outstanding)
         return event
 
     def close(self) -> None:
         """Poison-pill the serve loop (call once no work remains)."""
         self._dispatch.put(None)
+
+    def halt(self) -> None:
+        """Kill the serve loop mid-flight (cluster host death).
+
+        The in-flight batch, if any, never gets its completion stamps:
+        its requests stay PENDING and are re-sharded by the cluster
+        frontend.  Queued batches stay in the dispatch store — the
+        frontend's ownership ledger, not this store, is the source of
+        truth for what must be re-served.
+        """
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("halt")
 
     def start(self, router: "Router", ewma_alpha: float) -> Event:
         """Fork the serve loop; returns its process event."""
@@ -110,49 +128,53 @@ class Backend:
     def _serve_loop(self, router: "Router", alpha: float
                     ) -> Generator[Event, None, None]:
         obs = self.env.obs
-        while True:
-            batch = yield self._dispatch.get()
-            if batch is None:
-                return
-            t0 = self.env.now
-            for req in batch:
-                req.dispatched_at = t0
-                req.backend = self.name
-                req.batch_size = len(batch)
-            items = [WorkItem(index=req.request_id,
-                              image_id=req.request_id, label=None,
-                              tensor=req.tensor)
-                     for req in batch]
-            span = None
-            if obs is not None:
-                span = obs.tracer.begin(
-                    "serve_batch", track=f"serve/{self.name}",
-                    size=len(batch))
-            records = yield self.target.process_batch(items)
-            if obs is not None:
-                obs.tracer.end(span)
-            done_ids = {r.index for r in records}
-            completed = [r for r in batch if r.request_id in done_ids]
-            missing = [r for r in batch
-                       if r.request_id not in done_ids]
-            now = self.env.now
-            if completed:
-                per_request = (now - t0) / len(batch)
-                self.ewma_latency = (
-                    per_request if self.ewma_latency is None
-                    else alpha * per_request
-                    + (1.0 - alpha) * self.ewma_latency)
-                self.served += len(completed)
-                self.batches += 1
-            for req in completed:
-                req.completed_at = now
-                req.status = COMPLETED
-            self.outstanding -= len(batch)
-            if obs is not None:
-                obs.metrics.gauge(
-                    f"serve.outstanding.{self.name}").set(
-                        self.outstanding)
-            router.on_batch_done(self, completed, missing)
+        try:
+            while True:
+                batch = yield self._dispatch.get()
+                if batch is None:
+                    return
+                t0 = self.env.now
+                for req in batch:
+                    req.dispatched_at = t0
+                    req.backend = self.name
+                    req.batch_size = len(batch)
+                items = [WorkItem(index=req.request_id,
+                                  image_id=req.request_id, label=None,
+                                  tensor=req.tensor)
+                         for req in batch]
+                span = None
+                if obs is not None:
+                    span = obs.tracer.begin(
+                        "serve_batch", track=self.track,
+                        size=len(batch))
+                records = yield self.target.process_batch(items)
+                if obs is not None:
+                    obs.tracer.end(span)
+                done_ids = {r.index for r in records}
+                completed = [r for r in batch
+                             if r.request_id in done_ids]
+                missing = [r for r in batch
+                           if r.request_id not in done_ids]
+                now = self.env.now
+                if completed:
+                    per_request = (now - t0) / len(batch)
+                    self.ewma_latency = (
+                        per_request if self.ewma_latency is None
+                        else alpha * per_request
+                        + (1.0 - alpha) * self.ewma_latency)
+                    self.served += len(completed)
+                    self.batches += 1
+                for req in completed:
+                    req.completed_at = now
+                    req.status = COMPLETED
+                self.outstanding -= len(batch)
+                if obs is not None:
+                    obs.metrics.gauge(
+                        f"{self.metrics_prefix}.outstanding."
+                        f"{self.name}").set(self.outstanding)
+                router.on_batch_done(self, completed, missing)
+        except Interrupt:
+            return  # halted: host died, batch ownership reverts
 
 
 class Router:
@@ -165,7 +187,8 @@ class Router:
                  on_complete: Optional[
                      Callable[[list[Request]], None]] = None,
                  on_abandon: Optional[
-                     Callable[[Request], None]] = None) -> None:
+                     Callable[[Request], None]] = None,
+                 metrics_prefix: str = "serve") -> None:
         if not backends:
             raise FrameworkError("router needs at least one backend")
         if policy not in POLICIES:
@@ -184,6 +207,8 @@ class Router:
         self.ewma_alpha = ewma_alpha
         self.on_complete = on_complete
         self.on_abandon = on_abandon
+        #: Metric/track namespace — cluster hosts use ``rank<N>``.
+        self.metrics_prefix = metrics_prefix
         self._rr_next = 0
         self.abandoned_count = 0
 
@@ -248,7 +273,7 @@ class Router:
             return self.env.timeout(0.0)
         obs = self.env.obs
         if obs is not None:
-            obs.metrics.counter("serve.batches").inc()
+            obs.metrics.counter(f"{self.metrics_prefix}.batches").inc()
         return backend.submit(batch)
 
     def on_batch_done(self, backend: Backend,
@@ -270,9 +295,10 @@ class Router:
         if not retry:
             return
         if obs is not None:
-            obs.metrics.counter("serve.redirects").inc(len(retry))
+            obs.metrics.counter(
+                f"{self.metrics_prefix}.redirects").inc(len(retry))
             obs.tracer.instant(
-                "batch_rerouted", track="serve",
+                "batch_rerouted", track=self.metrics_prefix,
                 from_backend=backend.name, requests=len(retry))
         self.dispatch(retry)
 
@@ -281,8 +307,10 @@ class Router:
         req.status = ABANDONED
         obs = self.env.obs
         if obs is not None:
-            obs.metrics.counter("serve.abandoned").inc()
-            obs.tracer.instant("request_abandoned", track="serve",
+            obs.metrics.counter(
+                f"{self.metrics_prefix}.abandoned").inc()
+            obs.tracer.instant("request_abandoned",
+                               track=self.metrics_prefix,
                                request=req.request_id)
         if self.on_abandon is not None:
             self.on_abandon(req)

@@ -156,12 +156,14 @@ class ServeResult:
 
     @property
     def slo_attainment(self) -> float:
-        """Fraction of completed requests whose e2e latency met the
-        SLO (1.0 when no SLO was configured or nothing completed)."""
+        """Fraction of steady-state completed requests whose e2e
+        latency met the SLO (1.0 when no SLO was configured or nothing
+        completed).  Judged over the same warmup-trimmed view as the
+        latency percentiles, so attainment and p99 agree about which
+        requests count."""
         if self.slo_seconds is None:
             return 1.0
-        latencies = [r.e2e_latency for r in self.completed_requests()
-                     if r.e2e_latency is not None]
+        latencies = self.e2e_latencies()
         if not latencies:
             return 1.0
         good = sum(1 for lat in latencies
@@ -170,13 +172,13 @@ class ServeResult:
 
     @property
     def goodput(self) -> float:
-        """Completed-within-SLO requests per second of wall time."""
+        """Steady-state completed-within-SLO requests per second of
+        wall time (warmup-trimmed, matching the latency percentiles)."""
         if self.wall_seconds <= 0:
             raise FrameworkError("run has no elapsed time")
         if self.slo_seconds is None:
             return self.throughput
-        latencies = [r.e2e_latency for r in self.completed_requests()
-                     if r.e2e_latency is not None]
+        latencies = self.e2e_latencies()
         good = sum(1 for lat in latencies
                    if lat <= self.slo_seconds)
         return good / self.wall_seconds

@@ -95,11 +95,15 @@ def find_max_rate(run_at: Callable[[float], ServeResult],
 
     # Establish the bracket: hi must be unsustainable for bisection
     # to mean anything; double outward a few times if it is not.
+    # ``good`` starts at the *unprobed* lo, so until a probe sustains
+    # it is only a bracket edge, not a demonstrated rate.
     good, bad = lo, hi
+    good_proven = False
     for _ in range(4):
         if not probe(bad):
             break
         good, bad = bad, bad * 2.0
+        good_proven = True
     else:
         # Even the final doubling sustained: report that as the floor.
         return SweepResult(label=label, max_rate=good,
@@ -109,8 +113,14 @@ def find_max_rate(run_at: Callable[[float], ServeResult],
         mid = 0.5 * (good + bad)
         if probe(mid):
             good = mid
+            good_proven = True
         else:
             bad = mid
+    if not good_proven:
+        # Every probe was unsustainable and lo was never touched:
+        # demonstrate lo rather than report an unproven floor.  A lo
+        # of 0 is trivially sustainable (no arrivals) and not probed.
+        good = lo if lo > 0 and probe(lo) else 0.0
     return SweepResult(label=label, max_rate=good,
                        slo_seconds=slo_seconds, points=points)
 
@@ -119,6 +129,13 @@ def render_sweep_table(results: list[SweepResult]) -> str:
     """Side-by-side sweep table (one row per configuration)."""
     if not results:
         return "load sweep: no results"
+    slos = {r.slo_seconds for r in results}
+    if len(slos) > 1:
+        raise FrameworkError(
+            "render_sweep_table: results were judged against "
+            f"different SLOs ({sorted(slos)}) but the table header "
+            "states a single one; sweep each configuration under the "
+            "same SLO or render them separately")
     lines = [
         "load sweep: max sustainable arrival rate vs SLO",
         f"  SLO: p99 <= {results[0].slo_seconds * 1000:.0f} ms, "

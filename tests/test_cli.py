@@ -196,3 +196,53 @@ def test_serve_sweep_scales_with_sticks(capsys):
     assert "load sweep" in out
     assert "vpu1" in out and "vpu2" in out
     assert "1.00x" in out
+
+
+def test_list_mentions_cluster_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster-run" in out and "cluster-sweep" in out
+
+
+def test_cluster_run_command_renders_report(capsys):
+    args = ["cluster-run", "--hosts", "2", "--requests", "24",
+            "--rate", "40", "--slo", "5000", "--seed", "2"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "cluster serve report" in out
+    assert "hosts           : 2 (2 live at end)" in out
+    assert "poisson @ 40 req/s (seed 2)" in out
+    assert "offered         : 24" in out
+    # Byte-identical on a re-run: the determinism contract.
+    assert main(args) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_cluster_run_kill_host_resurvives(capsys):
+    assert main(["cluster-run", "--hosts", "2", "--requests", "40",
+                 "--rate", "400", "--slo", "20000",
+                 "--kill-host", "0", "--kill-at", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline:" in out
+    assert "chaos: kill host 0" in out
+    assert "died @" in out and "survived" in out
+    assert "completed       : 40" in out  # nothing lost
+
+
+def test_cluster_run_validation(capsys):
+    assert main(["cluster-run", "--host-backends", "tpu9"]) == 2
+    assert "unknown token" in capsys.readouterr().out
+    assert main(["cluster-run", "--hosts", "2",
+                 "--kill-host", "5"]) == 2
+    assert main(["cluster-run", "--kill-host", "0",
+                 "--kill-at", "1.5"]) == 2
+    assert main(["cluster-run", "--hosts", "0"]) == 2
+
+
+def test_cluster_sweep_smoke(capsys):
+    assert main(["cluster-sweep", "--smoke", "--hosts", "1,2",
+                 "--requests", "24", "--steps", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "load sweep" in out
+    assert "hosts=1" in out and "hosts=2" in out
+    assert "closed-loop capacity" in out

@@ -1,0 +1,252 @@
+"""Tests for cluster-scale sharded serving over simulated MPI.
+
+Every cluster run here drives real micro-graph VPU hosts through the
+full shard/serve/resolve pipeline; the fixtures keep each run to a
+few hundred milliseconds of simulated time.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterResult,
+    ClusterServer,
+    HashRing,
+    HostShard,
+    render_cluster_report,
+)
+from repro.errors import FrameworkError
+from repro.ncsw.faults import FaultPlan
+from repro.serve import COMPLETED, PoissonWorkload, Request
+from repro.serve.slo import ServeResult
+
+
+# -- helpers ----------------------------------------------------------------
+
+def _targets(chaos_graph, hosts, devices=1):
+    from repro.ncsw import IntelVPU
+
+    return [IntelVPU(graph=chaos_graph, num_devices=devices,
+                     functional=False)
+            for _ in range(hosts)]
+
+
+def _cluster_run(chaos_graph, *, hosts=2, requests=60, rate=400.0,
+                 seed=0, **kwargs):
+    kwargs.setdefault("slo_seconds", 60.0)
+    server = ClusterServer(_targets(chaos_graph, hosts), **kwargs)
+    workload = PoissonWorkload(rate=rate, seed=seed)
+    return server.run(workload, requests)
+
+
+def _shard_result(ids, wall=1.0):
+    reqs = []
+    for i in ids:
+        r = Request(request_id=i, arrival_time=0.0)
+        r.admitted_at = 0.0
+        r.dequeued_at = 0.01
+        r.dispatched_at = 0.02
+        r.completed_at = 0.1
+        r.status = COMPLETED
+        r.backend = "vpu"
+        r.batch_size = 1
+        reqs.append(r)
+    return ServeResult(offered=len(ids), completed=len(ids), shed=0,
+                       rejected=0, timed_out=0, abandoned=0,
+                       wall_seconds=wall, requests=reqs)
+
+
+# -- consistent-hash ring ---------------------------------------------------
+
+def test_hashring_is_deterministic_and_order_independent():
+    ring_a = HashRing(["host0", "host1", "host2"])
+    ring_b = HashRing(["host2", "host0", "host1"])
+    owners = [ring_a.lookup(k) for k in range(200)]
+    assert owners == [ring_b.lookup(k) for k in range(200)]
+    # Every host owns a share of the keyspace at 64 vnodes.
+    assert set(owners) == {"host0", "host1", "host2"}
+
+
+def test_hashring_removal_only_remaps_the_removed_node():
+    ring = HashRing(["host0", "host1", "host2"])
+    before = {k: ring.lookup(k) for k in range(300)}
+    ring.remove("host1")
+    for key, owner in before.items():
+        if owner == "host1":
+            assert ring.lookup(key) in ("host0", "host2")
+        else:
+            assert ring.lookup(key) == owner
+
+
+def test_hashring_validation():
+    with pytest.raises(FrameworkError):
+        HashRing([])
+    with pytest.raises(FrameworkError):
+        HashRing(["a", "a"])
+    with pytest.raises(FrameworkError):
+        HashRing(["a"], replicas=0)
+    ring = HashRing(["a"])
+    with pytest.raises(FrameworkError):
+        ring.add("a")
+    with pytest.raises(FrameworkError):
+        ring.remove("b")
+    ring.remove("a")
+    with pytest.raises(FrameworkError):
+        ring.lookup(1)
+
+
+# -- server validation ------------------------------------------------------
+
+def test_cluster_server_validation(chaos_graph):
+    targets = _targets(chaos_graph, 2)
+    with pytest.raises(FrameworkError):
+        ClusterServer([])
+    with pytest.raises(FrameworkError):
+        ClusterServer(targets, admission="fifo")
+    with pytest.raises(FrameworkError):
+        ClusterServer(targets, slo_seconds=0.0)
+    with pytest.raises(FrameworkError):
+        ClusterServer(targets, warmup=-1)
+    with pytest.raises(FrameworkError):
+        ClusterServer(targets, spill_threshold=0)
+    # Host faults: whole-rank death only, and the host must exist.
+    with pytest.raises(FrameworkError):
+        ClusterServer(targets,
+                      host_faults=FaultPlan.kill(0, 0.1, kind="hang"))
+    with pytest.raises(FrameworkError):
+        ClusterServer(targets, host_faults=FaultPlan.kill(5, 0.1))
+
+
+# -- healthy runs -----------------------------------------------------------
+
+def test_cluster_completes_every_request_across_hosts(chaos_graph):
+    result = _cluster_run(chaos_graph, hosts=2, requests=60)
+    assert result.offered == 60
+    assert result.completed == 60
+    assert result.loss_rate == 0.0
+    assert result.frontend_abandoned == 0
+    assert not result.degraded
+    # Consistent hashing spreads the keyspace over both hosts.
+    counts = result.per_host_counts()
+    assert set(counts) == {"host0", "host1"}
+    assert all(count > 0 for count in counts.values())
+    assert result.sharded == 60
+
+
+def test_cluster_report_renders_and_is_deterministic(chaos_graph):
+    first = _cluster_run(chaos_graph, hosts=2, requests=60, seed=3)
+    second = _cluster_run(chaos_graph, hosts=2, requests=60, seed=3)
+    text = render_cluster_report(first, workload="poisson")
+    assert text == render_cluster_report(second, workload="poisson")
+    assert "hosts           : 2 (2 live at end)" in text
+    assert "offered         : 60" in text
+    assert "survived" in text
+    # A different seed is a genuinely different run.
+    other = _cluster_run(chaos_graph, hosts=2, requests=60, seed=4)
+    assert render_cluster_report(other) != render_cluster_report(first)
+
+
+def test_cluster_spills_off_a_backlogged_shard(chaos_graph):
+    # A spill threshold of 1 forces any concurrent load off the
+    # sticky host: the spill counter must move under a fast workload.
+    result = _cluster_run(chaos_graph, hosts=2, requests=60,
+                          rate=2000.0, spill_threshold=1)
+    assert result.completed == 60
+    assert result.spilled > 0
+
+
+def test_cluster_warmup_trims_merged_latency_view(chaos_graph):
+    full = _cluster_run(chaos_graph, hosts=2, requests=60)
+    trimmed = _cluster_run(chaos_graph, hosts=2, requests=60,
+                           warmup=10)
+    assert len(full.e2e_latencies()) == 60
+    assert len(trimmed.e2e_latencies()) == 50
+    assert trimmed.warmup == 10
+
+
+# -- host failure -----------------------------------------------------------
+
+def test_killing_one_host_loses_no_request(chaos_graph):
+    hosts, requests = 4, 200
+    baseline = _cluster_run(chaos_graph, hosts=hosts,
+                            requests=requests, rate=2000.0)
+    assert baseline.completed == requests
+    kill_at = (baseline.prepare_seconds
+               + 0.5 * baseline.wall_seconds)
+    result = _cluster_run(chaos_graph, hosts=hosts,
+                          requests=requests, rate=2000.0,
+                          host_faults=FaultPlan.kill(1, kill_at))
+    # Exactly-once under death: every request still resolves, none
+    # at the frontend, and the dead host's backlog was re-sharded.
+    assert result.completed == requests
+    assert result.frontend_abandoned == 0
+    assert result.resharded > 0
+    assert result.degraded
+    [failure] = result.failures
+    assert failure.scope == "host"
+    assert failure.device == "host1"
+    [dead] = [s for s in result.shards if s.killed_at is not None]
+    assert dead.name == "host1"
+    assert dead.resharded == result.resharded
+    # Losing 1 of 4 hosts costs at most that host's share of goodput.
+    floor = baseline.goodput * (hosts - 1) / hosts
+    assert result.goodput >= floor
+
+
+def test_kill_is_deterministic(chaos_graph):
+    def chaos():
+        return _cluster_run(chaos_graph, hosts=4, requests=200,
+                            rate=2000.0,
+                            host_faults=FaultPlan.kill(1, 0.1))
+
+    assert (render_cluster_report(chaos())
+            == render_cluster_report(chaos()))
+
+
+def test_killing_every_host_abandons_at_the_frontend(chaos_graph):
+    plan = FaultPlan(faults=[
+        FaultPlan.kill(0, 0.001).faults[0],
+        FaultPlan.kill(1, 0.001).faults[0],
+    ])
+    result = _cluster_run(chaos_graph, hosts=2, requests=40,
+                          rate=4000.0, host_faults=plan)
+    assert result.completed < 40
+    assert result.frontend_abandoned > 0
+    assert (sum(s.result.offered for s in result.shards)
+            + result.frontend_abandoned == 40)
+    assert "no completed" in result.summary() or result.completed > 0
+    # The report still renders without latency data.
+    assert "cluster serve report" in render_cluster_report(result)
+
+
+# -- roll-up invariants -----------------------------------------------------
+
+def test_cluster_result_accounting_invariant():
+    shard = HostShard(rank=1, name="host0",
+                      result=_shard_result([0, 1, 2]))
+    with pytest.raises(FrameworkError):
+        ClusterResult(offered=5, shards=[shard], wall_seconds=1.0)
+
+
+def test_cluster_result_rejects_double_resolution():
+    shards = [
+        HostShard(rank=1, name="host0",
+                  result=_shard_result([0, 1])),
+        HostShard(rank=2, name="host1",
+                  result=_shard_result([1, 2])),
+    ]
+    with pytest.raises(FrameworkError) as err:
+        ClusterResult(offered=4, shards=shards, wall_seconds=1.0)
+    assert "exactly-once" in str(err.value)
+
+
+def test_cluster_result_abandon_bookkeeping():
+    shard = HostShard(rank=1, name="host0",
+                      result=_shard_result([0]))
+    with pytest.raises(FrameworkError):
+        ClusterResult(offered=2, shards=[shard], wall_seconds=1.0,
+                      frontend_abandoned=1, abandoned_requests=[])
+    with pytest.raises(FrameworkError):
+        ClusterResult(offered=1, shards=[shard], wall_seconds=1.0,
+                      warmup=-1)
+    with pytest.raises(FrameworkError):
+        ClusterResult(offered=0, shards=[], wall_seconds=1.0)

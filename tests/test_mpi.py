@@ -294,3 +294,65 @@ def test_stream_rejects_push_after_close():
     stream.close()
     with pytest.raises(SimulationError):
         stream.push(1)
+
+
+def test_stream_abort_returns_backlog_and_signals_eos():
+    env = Environment()
+    comm = Communicator(env, 2)
+    stream = StreamWindow(comm, 0, 1, window=2)
+    stranded = {}
+    got = []
+
+    def producer():
+        # Two pushes fill the window; two more block on it.
+        events = [stream.push(i) for i in range(4)]
+        yield env.all_of(events)
+
+    def killer():
+        yield env.timeout(5.0)
+        stranded["items"] = stream.abort()
+
+    def late_consumer():
+        yield env.timeout(10.0)
+        got.append((yield stream.pop()))
+        got.append((yield stream.pop()))
+
+    env.process(producer())
+    env.process(killer())
+    env.process(late_consumer())
+    env.run()
+    # Abort recovered everything undelivered: the buffered window
+    # plus the payloads of the blocked pushes.
+    assert sorted(stranded["items"]) == [0, 1, 2, 3]
+    assert stream.closed
+    # The blocked producer was released (env.run() returned), and
+    # pops after the abort see only EOS.
+    assert got == [None, None]
+
+
+def test_stream_abort_unblocks_a_waiting_pop():
+    env = Environment()
+    comm = Communicator(env, 2)
+    stream = StreamWindow(comm, 0, 1)
+    got = []
+
+    def consumer():
+        got.append((yield stream.pop()))
+
+    def killer():
+        yield env.timeout(1.0)
+        stream.abort()
+
+    env.process(consumer())
+    env.process(killer())
+    env.run()
+    assert got == [None]
+
+
+def test_stream_abort_rejects_further_pushes():
+    env = Environment()
+    comm = Communicator(env, 2)
+    stream = StreamWindow(comm, 0, 1)
+    assert stream.abort() == []
+    with pytest.raises(SimulationError):
+        stream.push(1)

@@ -451,3 +451,42 @@ def test_utilisation_report_includes_serving_section(chaos_graph):
     assert "serve.offered" in text and "serve.completed" in text
     assert "serve.e2e_seconds" in text  # histogram table
     assert "ncs0" in text and "ncs1" in text
+
+
+def test_rank_activity_groups_cluster_counters():
+    from repro.obs import rank_activity
+
+    session = ObsSession()
+    session.metrics.counter("rank2.completed").inc(7)
+    session.metrics.counter("rank1.completed").inc(5)
+    session.metrics.counter("rank1.batches").inc(3)
+    session.metrics.counter("serve.completed").inc(9)
+    session.metrics.counter("rank1.empty")  # zero: excluded
+    activity = rank_activity(session)
+    assert list(activity) == ["rank1", "rank2"]
+    assert activity["rank1"] == {"batches": 3.0, "completed": 5.0}
+    assert activity["rank2"] == {"completed": 7.0}
+    assert rank_activity(ObsSession()) == {}
+
+
+def test_chrome_trace_groups_rank_tracks_into_processes():
+    from repro.obs.perfetto import TRACE_PID, to_chrome_trace
+
+    session = ObsSession()
+    env = Environment()
+    session.attach(env)
+    span = session.tracer.begin("batch", track="rank2/batcher")
+    session.tracer.end(span)
+    span = session.tracer.begin("inference", track="ncs0")
+    session.tracer.end(span)
+    doc = to_chrome_trace(session)
+    events = doc["traceEvents"]
+    names = {e["pid"]: e["args"]["name"] for e in events
+             if e["name"] == "process_name"}
+    assert names[TRACE_PID] == "repro simulation"
+    assert names[TRACE_PID + 2] == "rank 2"
+    spans = {e["name"]: e["pid"] for e in events
+             if e.get("ph") == "X"}
+    assert spans["batch"] == TRACE_PID + 2
+    assert spans["inference"] == TRACE_PID
+    json.dumps(doc)  # still a valid trace document

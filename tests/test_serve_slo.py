@@ -101,6 +101,23 @@ def test_warmup_excludes_cold_start_from_stats():
     assert full.p99 > 0.5
 
 
+def test_warmup_trims_attainment_and_goodput_like_percentiles():
+    # Regression: slo_attainment and goodput used to recount every
+    # completed request while the percentiles trimmed warmup, so a
+    # cold-start outlier dragged attainment below 1.0 even when the
+    # reported p99 sat inside the SLO.  All three must judge the same
+    # steady-state view.
+    r = _result([1.0, 1.0] + [0.010] * 40, slo=0.050, wall=2.0,
+                warmup=2)
+    assert r.p99 <= 0.050
+    assert r.slo_attainment == pytest.approx(1.0)
+    assert r.goodput == pytest.approx(40 / 2.0)
+    # Without warmup the outliers count everywhere, consistently.
+    full = _result([1.0, 1.0] + [0.010] * 40, slo=0.050, wall=2.0)
+    assert full.slo_attainment == pytest.approx(40 / 42)
+    assert full.goodput == pytest.approx(40 / 2.0)
+
+
 def test_stage_latencies_and_validation():
     r = _result([0.1, 0.2])
     assert len(r.stage_latencies("queue_wait")) == 2
@@ -220,6 +237,41 @@ def test_find_max_rate_validation():
     with pytest.raises(FrameworkError):
         find_max_rate(_fake_service(1.0), slo_seconds=0.1, hi=10.0,
                       steps=0)
+
+
+def test_find_max_rate_unsustainable_everywhere_reports_zero():
+    # Regression: with lo > 0 and every probe unsustainable, the
+    # sweep used to report the never-probed lo as the sustainable
+    # floor.  Now it demonstrates lo with a probe — and when even lo
+    # fails, the honest answer is 0.
+    sweep = find_max_rate(_fake_service(10.0), slo_seconds=0.050,
+                          hi=1000.0, lo=50.0, steps=4)
+    assert sweep.max_rate == 0.0
+    assert any(p.rate == pytest.approx(50.0) for p in sweep.points)
+    assert all(not p.sustainable for p in sweep.points)
+
+
+def test_find_max_rate_probes_an_untouched_lo():
+    # lo is sustainable but the bisection never lands on it: the
+    # result must come from a demonstrated probe, not a bracket edge.
+    sweep = find_max_rate(_fake_service(60.0), slo_seconds=0.050,
+                          hi=1000.0, lo=50.0, steps=1)
+    assert sweep.max_rate == pytest.approx(50.0)
+    assert any(p.rate == pytest.approx(50.0) and p.sustainable
+               for p in sweep.points)
+
+
+def test_render_sweep_table_rejects_mixed_slos():
+    # Regression: the table header states one SLO but each row used
+    # to be judged against its own; mixed inputs now fail loudly.
+    results = [
+        SweepResult(label="a", max_rate=10.0, slo_seconds=0.05,
+                    points=[]),
+        SweepResult(label="b", max_rate=20.0, slo_seconds=0.10,
+                    points=[]),
+    ]
+    with pytest.raises(FrameworkError):
+        render_sweep_table(results)
 
 
 def test_render_sweep_table_scaling_column():
