@@ -17,8 +17,15 @@ def _pcts(result: ClusterResult) -> list[tuple[str, float]]:
 
 
 def render_cluster_report(result: ClusterResult,
-                          workload: str = "") -> str:
-    """Render one cluster run as a fixed-width text report."""
+                          workload: str = "",
+                          alerts=None, policy=None) -> str:
+    """Render one cluster run as a fixed-width text report.
+
+    Pass ``alerts`` (a list from
+    :func:`repro.obs.alerts.serve_alerts`) to append an SLO-alert
+    section; the default rendering is unchanged so existing golden
+    outputs stay byte-identical.
+    """
     dead = sum(1 for s in result.shards if s.killed_at is not None)
     lines = ["cluster serve report", "=" * 20]
     if workload:
@@ -72,4 +79,8 @@ def render_cluster_report(result: ClusterResult,
             f"  {shard.name:<8}{shard.rank:>5} "
             f"{shard.result.offered:>8} "
             f"{shard.result.completed:>10} {share:>6.1%} {fate:>12}")
+    if alerts is not None:
+        from repro.obs.alerts import render_alerts
+        lines.append("")
+        lines.append(render_alerts(alerts, policy=policy))
     return "\n".join(lines)

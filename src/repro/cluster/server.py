@@ -251,6 +251,9 @@ class ClusterServer:
                 yield env.timeout(request.arrival_time - env.now)
             if obs is not None:
                 obs.metrics.counter("cluster.offered").inc()
+                obs.reqtrace.begin(
+                    request, track="cluster",
+                    t=obs.tracer.timestamp(request.arrival_time))
             self._dispatch(request)
 
     def _dispatch(self, request: Request) -> Optional[Event]:
@@ -289,6 +292,9 @@ class ClusterServer:
             obs.metrics.gauge(
                 f"cluster.outstanding.{host.name}").set(
                     self._outstanding[host.name])
+            obs.reqtrace.hop(request.trace, "sharded",
+                             track="cluster", host=host.name,
+                             rank=host.rank)
         return host.stream.push(request)
 
     # -- resolution ------------------------------------------------------
@@ -318,6 +324,8 @@ class ClusterServer:
             obs.metrics.counter("cluster.abandoned").inc()
             obs.tracer.instant("request_abandoned", track="cluster",
                                request=request.request_id)
+            obs.reqtrace.hop(request.trace, "frontend_abandoned",
+                             track="cluster")
         self._count_resolved()
 
     def _count_resolved(self) -> None:
@@ -369,8 +377,11 @@ class ClusterServer:
         if obs is not None:
             obs.metrics.counter("cluster.host_deaths").inc()
             obs.tracer.instant("host_killed", track="cluster",
-                               host=host.name,
+                               host=host.name, rank=host.rank,
                                stranded=len(stranded))
+            for request in stranded:
+                obs.reqtrace.hop(request.trace, "resharded",
+                                 track="cluster", host=host.name)
         if not stranded:
             return
         if self.health.live_count() > 0:

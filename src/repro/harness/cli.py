@@ -52,10 +52,15 @@ _FIGURES: dict[str, tuple[str, Callable]] = {
 
 
 def _obs_from_args(args: argparse.Namespace):
-    """An ObsSession when --trace was given, else None."""
-    if getattr(args, "trace", None) is None:
+    """An ObsSession when --trace or --metrics was given, else None."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    if trace is None and metrics is None:
         return None
-    _check_trace_path(args.trace)
+    if trace is not None:
+        _check_trace_path(trace)
+    if metrics is not None:
+        _check_trace_path(metrics)
     from repro.obs import ObsSession
 
     return ObsSession()
@@ -82,8 +87,28 @@ def _finish_trace(args: argparse.Namespace, obs) -> None:
     from repro.obs import utilisation_report
 
     print(utilisation_report(obs))
-    path = save_trace_json(obs, args.trace)
-    print(f"wrote trace {path} (open in https://ui.perfetto.dev)")
+    if getattr(args, "trace", None) is not None:
+        path = save_trace_json(obs, args.trace)
+        print(f"wrote trace {path} "
+              "(open in https://ui.perfetto.dev)")
+    if getattr(args, "metrics", None) is not None:
+        from repro.obs import write_metrics_jsonl
+
+        path = write_metrics_jsonl(obs, args.metrics)
+        print(f"wrote metrics {path} (analyze with "
+              f"`python -m repro trace-analyze {path}`)")
+
+
+def _serve_trace_extras(obs) -> None:
+    """Per-request waterfall of the first completed sampled trace."""
+    if obs is None:
+        return
+    from repro.obs import render_waterfall
+
+    done = [t for t in obs.reqtrace.traces() if t.completed]
+    if done:
+        print(render_waterfall(obs.reqtrace, done[0].trace_id))
+        print()
 
 _BAR_FIGURES = {"fig6a", "fig7a"}
 
@@ -102,6 +127,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  serve-sweep  max sustainable arrival rate per config")
     print("  cluster-run  sharded multi-host serving run (MPI sim)")
     print("  cluster-sweep  max sustainable rate per cluster size")
+    print("  trace-analyze  offline timeline/waterfall/alert report "
+          "from a --metrics dump")
     print("  perf-run     wall-clock perf suite (BENCH_PR4.json gate)")
     return 0
 
@@ -485,9 +512,17 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     obs = _obs_from_args(args)
     result = _serve_server(args, targets, obs=obs).run(workload,
                                                        args.requests)
-    print(render_slo_report(result, workload=workload.describe()))
+    alerts = policy = None
+    if obs is not None:
+        from repro.obs import default_policy, serve_alerts
+
+        alerts = serve_alerts(result, session=obs)
+        policy = default_policy(result.wall_seconds)
+    print(render_slo_report(result, workload=workload.describe(),
+                            alerts=alerts, policy=policy))
     if obs is not None:
         print()
+    _serve_trace_extras(obs)
     _finish_trace(args, obs)
     return 0 if result.completed > 0 else 1
 
@@ -670,10 +705,18 @@ def _cmd_cluster_run(args: argparse.Namespace) -> int:
     obs = _obs_from_args(args)
     result = _cluster_server(args, targets, host_faults=host_faults,
                              obs=obs).run(workload, args.requests)
+    alerts = policy = None
+    if obs is not None:
+        from repro.obs import default_policy, serve_alerts
+
+        alerts = serve_alerts(result, session=obs)
+        policy = default_policy(result.wall_seconds)
     print(render_cluster_report(result,
-                                workload=workload.describe()))
+                                workload=workload.describe(),
+                                alerts=alerts, policy=policy))
     if obs is not None:
         print()
+    _serve_trace_extras(obs)
     _finish_trace(args, obs)
     return 0 if result.completed > 0 else 1
 
@@ -763,6 +806,66 @@ def _cmd_cluster_sweep(args: argparse.Namespace) -> int:
         results.append(sweep)
     print()
     print(render_sweep_table(results))
+    return 0
+
+
+def _cmd_trace_analyze(args: argparse.Namespace) -> int:
+    """Offline analysis of a recorded metrics JSONL dump.
+
+    Loads a file written by ``serve-run --metrics`` / ``cluster-run
+    --metrics`` (or :func:`repro.obs.write_metrics_jsonl` directly)
+    and prints the windowed timeline, per-request waterfalls, and the
+    burn-rate / anomaly alerts recomputed from the recorded events —
+    no re-simulation required.
+    """
+    from repro.errors import ObservabilityError
+    from repro.obs import (
+        burn_rate_alerts,
+        dead_rank_alerts,
+        default_policy,
+        load_metrics_jsonl,
+        outcomes_from_traces,
+        queue_slope_alerts,
+        render_alerts,
+        render_timeline,
+        render_waterfall,
+    )
+
+    try:
+        session = load_metrics_jsonl(args.path)
+    except (OSError, ObservabilityError) as exc:
+        print(f"trace-analyze: {exc}")
+        return 2
+    extent = session.tracer.extent
+    traces = session.reqtrace.traces()
+    print(f"trace analysis of {args.path}")
+    print(f"  extent : {extent * 1000:.1f} ms simulated")
+    print(f"  traces : {len(traces)} sampled requests")
+    print()
+    width = args.window / 1000.0
+    print(render_timeline(session, width=width))
+    shown = 0
+    for trace in traces:
+        if shown >= args.waterfalls:
+            break
+        if trace.completed:
+            print()
+            print(render_waterfall(session.reqtrace, trace.trace_id))
+            shown += 1
+    alerts = []
+    policy = None
+    if traces and extent > 0:
+        policy = default_policy(extent)
+        outcomes = outcomes_from_traces(session.reqtrace,
+                                        args.slo / 1000.0)
+        alerts.extend(burn_rate_alerts(outcomes, extent, policy))
+    if extent > 0:
+        alerts.extend(queue_slope_alerts(session, width=width,
+                                         end=extent))
+    alerts.extend(dead_rank_alerts(session))
+    alerts.sort(key=lambda a: (a.at, a.kind, a.metric))
+    print()
+    print(render_alerts(alerts, policy=policy))
     return 0
 
 
@@ -959,7 +1062,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 0.5)")
     serve_run.add_argument(
         "--trace", default=None, metavar="PATH",
-        help="record a Perfetto trace + utilisation report")
+        help="record a Perfetto trace + utilisation report "
+             "(includes per-request flow events and a waterfall)")
+    serve_run.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="dump the metric/trace events as JSONL for offline "
+             "trace-analyze")
 
     serve_sweep = sub.add_parser(
         "serve-sweep", parents=[serve_common],
@@ -1038,6 +1146,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, metavar="PATH",
         help="record a Perfetto trace (one process group per rank) "
              "+ utilisation report")
+    cluster_run.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="dump the metric/trace events as JSONL for offline "
+             "trace-analyze")
 
     cluster_sweep = sub.add_parser(
         "cluster-sweep", parents=[cluster_common],
@@ -1057,6 +1169,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan host counts across N processes "
              "(results identical to --jobs 1)")
     cluster_sweep.set_defaults(requests=200)
+
+    trace_analyze = sub.add_parser(
+        "trace-analyze",
+        help="analyze a recorded metrics JSONL dump offline")
+    trace_analyze.add_argument(
+        "path", metavar="PATH",
+        help="metrics JSONL file from serve-run/cluster-run "
+             "--metrics")
+    trace_analyze.add_argument(
+        "--window", type=float, default=50.0, metavar="MS",
+        help="timeline aggregation window in ms (default 50)")
+    trace_analyze.add_argument(
+        "--slo", type=float, default=500.0, metavar="MS",
+        help="SLO threshold in ms for burn-rate analysis "
+             "(default 500)")
+    trace_analyze.add_argument(
+        "--waterfalls", type=int, default=1, metavar="N",
+        help="completed request waterfalls to print (default 1)")
 
     perf_run = sub.add_parser(
         "perf-run",
@@ -1110,6 +1240,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cluster_run(args)
     if args.command == "cluster-sweep":
         return _cmd_cluster_sweep(args)
+    if args.command == "trace-analyze":
+        return _cmd_trace_analyze(args)
     if args.command == "perf-run":
         return _cmd_perf_run(args)
     raise AssertionError("unreachable")

@@ -55,6 +55,11 @@ class StreamWindow:
                 self.comm.transfer_seconds(_payload_bytes(item)))
             yield self._buffer.put(item)
             self.pushed += 1
+            obs = env.obs
+            if obs is not None:
+                obs.reqtrace.hop(getattr(item, "trace", None),
+                                 "delivered",
+                                 track=f"rank{self.dest}/stream")
 
         return env.process(do_push())
 

@@ -480,3 +480,10 @@ class MultiVPUScheduler:
             t_complete=self.env.now,
             topk=topk,
         ))
+        obs = self.env.obs
+        if obs is not None and item.trace is not None:
+            # Backdate the submit hop: _record runs at completion time
+            # but the transfer started at t_submit.
+            obs.reqtrace.hop(item.trace, "device_submit", track=device,
+                             t=obs.tracer.timestamp(t_submit))
+            obs.reqtrace.hop(item.trace, "device_done", track=device)

@@ -29,6 +29,9 @@ class WorkItem:
     image_id: int
     label: Optional[int]
     tensor: Optional[np.ndarray] = field(repr=False, default=None)
+    #: Causal trace context carried down from the serving layer (see
+    #: :mod:`repro.obs.reqtrace`); None for batch-campaign work.
+    trace: Optional[Any] = field(repr=False, default=None, compare=False)
 
 
 class SourceImage:

@@ -123,6 +123,13 @@ class _HostTarget(TargetDevice):
         probs = yield self._device.run_batch(x, batch=len(items))
         if obs is not None:
             obs.tracer.end(span)
+            for item in items:
+                if item.trace is not None:
+                    obs.reqtrace.hop(item.trace, "device_submit",
+                                     track=self.name,
+                                     t=obs.tracer.timestamp(t0))
+                    obs.reqtrace.hop(item.trace, "device_done",
+                                     track=self.name)
         records = []
         for pos, item in enumerate(items):
             predicted = confidence = topk = None

@@ -4,9 +4,12 @@ The observability layer the paper's analysis implicitly relied on:
 span-based tracing stamped with simulated time (:mod:`tracer`), a
 metrics registry with counters / gauges / percentile histograms
 (:mod:`metrics`), the :class:`ObsSession` bundle that threads through
-the whole stack (:mod:`session`), a Chrome/Perfetto ``trace_event``
-exporter (:mod:`perfetto`) and a per-device utilisation report
-(:mod:`report`).
+the whole stack (:mod:`session`), per-request causal traces with
+waterfalls and critical paths (:mod:`reqtrace`), windowed time-series
+aggregation and a JSONL metrics dump/loader (:mod:`timeline`),
+SLO burn-rate and anomaly detection (:mod:`alerts`), a Chrome/Perfetto
+``trace_event`` exporter with request flow events (:mod:`perfetto`)
+and a per-device utilisation report (:mod:`report`).
 
 Typical use::
 
@@ -36,8 +39,35 @@ from repro.obs.metrics import (
     TracerClock,
 )
 from repro.obs.session import ObsSession
+from repro.obs.reqtrace import (
+    Hop,
+    RequestTrace,
+    RequestTracer,
+    TraceContext,
+    render_waterfall,
+)
+from repro.obs.timeline import (
+    TimelineRecorder,
+    load_metrics_jsonl,
+    render_timeline,
+    timeline_rows,
+    write_metrics_jsonl,
+)
+from repro.obs.alerts import (
+    Alert,
+    BurnRatePolicy,
+    burn_rate_alerts,
+    dead_rank_alerts,
+    default_policy,
+    outcomes_from_traces,
+    queue_slope_alerts,
+    render_alerts,
+    request_outcomes,
+    serve_alerts,
+)
 from repro.obs.perfetto import to_chrome_trace, write_chrome_trace
 from repro.obs.report import (
+    dead_ranks,
     device_failures,
     device_utilisation,
     link_occupancy,
@@ -58,8 +88,29 @@ __all__ = [
     "MetricsRegistry",
     "TracerClock",
     "ObsSession",
+    "TraceContext",
+    "Hop",
+    "RequestTrace",
+    "RequestTracer",
+    "render_waterfall",
+    "TimelineRecorder",
+    "timeline_rows",
+    "render_timeline",
+    "write_metrics_jsonl",
+    "load_metrics_jsonl",
+    "Alert",
+    "BurnRatePolicy",
+    "default_policy",
+    "request_outcomes",
+    "outcomes_from_traces",
+    "burn_rate_alerts",
+    "queue_slope_alerts",
+    "dead_rank_alerts",
+    "serve_alerts",
+    "render_alerts",
     "to_chrome_trace",
     "write_chrome_trace",
+    "dead_ranks",
     "device_failures",
     "device_utilisation",
     "link_occupancy",

@@ -1,0 +1,331 @@
+"""SLO burn-rate alerting and anomaly flags over the timeline.
+
+The SRE playbook's multi-window burn-rate alert, transplanted onto
+the simulated clock: the *burn rate* is how fast the run is spending
+its error budget (``1 - target`` of requests may miss the SLO or
+drop); an alert fires only when **both** a fast and a slow trailing
+window burn faster than the threshold.  The fast window catches the
+onset quickly, the slow window suppresses one-bad-batch blips — so
+the alert fires during an injected overload and stays silent on a
+healthy baseline, which is exactly the pair of properties the tests
+pin.
+
+Two anomaly flags ride along, both reading the same windowed
+timeline the burn-rate does:
+
+* **queue-depth slope** — a sustained linear climb in any
+  ``*.queue_depth`` gauge (the classic "arrival rate > service rate"
+  signature, visible windows before latency percentiles blow up);
+* **dead-rank gap** — a cluster host whose ``rank<N>.completed``
+  events stop while other ranks keep completing (detected from the
+  metrics alone, no failure event needed — that is the point of a
+  detector).
+
+Everything is a pure function of recorded data: deterministic,
+byte-identical across same-seed runs, and equally usable online (on
+the live session) or offline (on a ``trace-analyze`` reload).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ObservabilityError
+
+#: Request terminal states that consume error budget.
+_COMPLETED = "completed"
+
+_RANK_COMPLETED_RE = re.compile(r"^rank(\d+)\.completed$")
+_QUEUE_DEPTH_RE = re.compile(r"\.queue_depth$")
+
+
+@dataclass(frozen=True)
+class BurnRatePolicy:
+    """One fast+slow window pair over an SLO error budget."""
+
+    target: float = 0.99        #: SLO attainment objective.
+    fast_s: float = 0.05        #: fast trailing window (seconds).
+    slow_s: float = 0.25        #: slow trailing window (seconds).
+    threshold: float = 14.4     #: burn-rate multiple that pages.
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ObservabilityError(
+                f"target must be in (0, 1), got {self.target}")
+        if self.fast_s <= 0 or self.slow_s < self.fast_s:
+            raise ObservabilityError(
+                f"need 0 < fast_s <= slow_s, got {self.fast_s}/"
+                f"{self.slow_s}")
+        if self.threshold <= 0:
+            raise ObservabilityError(
+                f"threshold must be positive, got {self.threshold}")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: allowed fraction of bad requests."""
+        return 1.0 - self.target
+
+
+def default_policy(wall_seconds: float) -> BurnRatePolicy:
+    """Window pair scaled to one run: fast = wall/20, slow = wall/5.
+
+    Real deployments pin windows to wall-clock minutes/hours; a
+    simulated run's natural unit is its own duration.  The 1:5 ratio
+    and the 14.4x threshold mirror the SRE workbook's page-severity
+    tier.
+    """
+    wall = max(wall_seconds, 1e-9)
+    return BurnRatePolicy(fast_s=wall / 20.0, slow_s=wall / 5.0)
+
+
+@dataclass
+class Alert:
+    """One detection, with enough context to render deterministically."""
+
+    kind: str        #: ``burn-rate`` | ``queue-slope`` | ``dead-rank``
+    at: float        #: detection time (seconds on the sim clock)
+    until: float     #: end of the firing interval
+    metric: str      #: what was watched
+    detail: str      #: human-readable specifics
+
+
+def request_outcomes(requests: list[Any],
+                     slo_seconds: Optional[float]
+                     ) -> list[tuple[float, bool]]:
+    """Per-request ``(resolve_time, good)`` pairs, time-ordered.
+
+    Good means completed within the SLO; every drop (shed, rejected,
+    timed out, abandoned) and every SLO miss consumes budget.  The
+    resolve time is the last lifecycle stamp the request reached —
+    a rejected request resolves at arrival, a timed-out one at
+    dequeue.  Unresolved (pending) requests are excluded.
+    """
+    outcomes: list[tuple[float, bool]] = []
+    for req in requests:
+        if req.status == "pending":
+            continue
+        t = req.completed_at
+        for stamp in (req.dispatched_at, req.dequeued_at,
+                      req.admitted_at, req.arrival_time):
+            if t is not None:
+                break
+            t = stamp
+        good = (req.status == _COMPLETED
+                and (slo_seconds is None
+                     or req.e2e_latency <= slo_seconds))
+        outcomes.append((float(t), good))
+    outcomes.sort(key=lambda pair: pair[0])
+    return outcomes
+
+
+def outcomes_from_traces(reqtrace: Any, slo_seconds: Optional[float]
+                         ) -> list[tuple[float, bool]]:
+    """Outcome pairs recovered from sampled request traces alone —
+    the offline (``trace-analyze``) twin of :func:`request_outcomes`."""
+    outcomes: list[tuple[float, bool]] = []
+    for trace in reqtrace.traces():
+        stage = trace.terminal_stage
+        if stage is None or not trace.hops:
+            continue
+        good = (stage == _COMPLETED
+                and (slo_seconds is None
+                     or trace.end - trace.start <= slo_seconds))
+        outcomes.append((trace.end, good))
+    outcomes.sort(key=lambda pair: pair[0])
+    return outcomes
+
+
+def burn_rate_alerts(outcomes: list[tuple[float, bool]],
+                     end: float,
+                     policy: BurnRatePolicy) -> list[Alert]:
+    """Multi-window burn-rate detection over outcome events.
+
+    Evaluates at every fast-window boundary: the burn rate of a
+    trailing window is its bad fraction divided by the error budget;
+    a step fires when both the fast and the slow window exceed the
+    threshold.  Consecutive firing steps merge into one alert.
+    """
+    if not outcomes:
+        return []
+    times = [t for t, _ in outcomes]
+    bads = [0.0]
+    totals = [0.0]
+    for _, good in outcomes:
+        bads.append(bads[-1] + (0.0 if good else 1.0))
+        totals.append(totals[-1] + 1.0)
+
+    def burn(t0: float, t1: float) -> float:
+        lo = bisect.bisect_left(times, t0)
+        hi = bisect.bisect_right(times, t1)
+        total = totals[hi] - totals[lo]
+        if total == 0:
+            return 0.0
+        bad = bads[hi] - bads[lo]
+        return (bad / total) / policy.budget
+
+    firing: list[tuple[float, float, float]] = []
+    step = policy.fast_s
+    t = step
+    while t <= end + step * 1e-9:
+        fast = burn(t - policy.fast_s, t)
+        slow = burn(max(0.0, t - policy.slow_s), t)
+        if fast >= policy.threshold and slow >= policy.threshold:
+            firing.append((t, fast, slow))
+        t += step
+
+    alerts: list[Alert] = []
+    for t, fast, slow in firing:
+        if alerts and t - alerts[-1].until <= step * (1 + 1e-9):
+            prev = alerts[-1]
+            prev.until = t
+            prev.detail = (
+                f"budget burning {fast:.1f}x (fast) / {slow:.1f}x "
+                f"(slow) at t={t:.3f}s; threshold "
+                f"{policy.threshold:.1f}x of a {policy.budget:.1%} "
+                "budget")
+        else:
+            alerts.append(Alert(
+                kind="burn-rate", at=t, until=t, metric="slo_burn",
+                detail=(f"budget burning {fast:.1f}x (fast) / "
+                        f"{slow:.1f}x (slow) at t={t:.3f}s; threshold "
+                        f"{policy.threshold:.1f}x of a "
+                        f"{policy.budget:.1%} budget")))
+    return alerts
+
+
+def queue_slope_alerts(session: Any, width: float,
+                       end: Optional[float] = None,
+                       min_windows: int = 3,
+                       min_slope: float = 1.0,
+                       min_depth: float = 4.0) -> list[Alert]:
+    """Flag sustained queue-depth growth in any ``*.queue_depth``
+    gauge: at least *min_windows* consecutive non-decreasing windowed
+    means climbing at ``>= min_slope`` items/second, ending at a depth
+    of at least *min_depth* (filters idle-queue noise)."""
+    from repro.obs.timeline import timeline_rows
+
+    rows = [r for r in timeline_rows(session, width, end=end)
+            if r["kind"] == "gauge"
+            and _QUEUE_DEPTH_RE.search(r["metric"])
+            and r["mean"] is not None]
+    by_metric: dict[str, list[dict[str, Any]]] = {}
+    for row in rows:
+        by_metric.setdefault(row["metric"], []).append(row)
+    alerts: list[Alert] = []
+    for name in sorted(by_metric):
+        group = sorted(by_metric[name], key=lambda r: r["window"])
+        run_start = 0
+        for i in range(1, len(group) + 1):
+            climbing = (i < len(group)
+                        and group[i]["mean"] >= group[i - 1]["mean"])
+            if climbing:
+                continue
+            length = i - run_start
+            if length >= min_windows:
+                first, last = group[run_start], group[i - 1]
+                dt = last["t1"] - first["t0"]
+                slope = ((last["mean"] - first["mean"]) / dt
+                         if dt > 0 else 0.0)
+                if slope >= min_slope and last["mean"] >= min_depth:
+                    alerts.append(Alert(
+                        kind="queue-slope", at=first["t0"],
+                        until=last["t1"], metric=name,
+                        detail=(f"depth climbing {slope:.1f}/s over "
+                                f"{length} windows "
+                                f"({first['mean']:.1f} -> "
+                                f"{last['mean']:.1f})")))
+            run_start = i
+    return alerts
+
+
+def dead_rank_alerts(session: Any,
+                     gap_factor: float = 4.0,
+                     min_completions: int = 4) -> list[Alert]:
+    """Detect ranks whose completions stopped early, from the
+    timeline alone.
+
+    A rank is flagged when its last ``rank<N>.completed`` event
+    precedes the cluster's last completion by more than *gap_factor*
+    times the rank's own median completion gap — i.e. the rank went
+    quiet while the cluster kept serving.  Ranks with fewer than
+    *min_completions* events are skipped (no gap statistics).
+    """
+    timeline = session.timeline
+    per_rank: dict[int, list[float]] = {}
+    for name, events in timeline.counter_events.items():
+        match = _RANK_COMPLETED_RE.match(name)
+        if match is None or not events:
+            continue
+        per_rank[int(match.group(1))] = [t for t, _ in events]
+    if len(per_rank) < 2:
+        return []
+    cluster_last = max(times[-1] for times in per_rank.values())
+    alerts: list[Alert] = []
+    for rank in sorted(per_rank):
+        times = per_rank[rank]
+        if len(times) < min_completions:
+            continue
+        gaps = sorted(b - a for a, b in zip(times, times[1:]))
+        median_gap = gaps[len(gaps) // 2]
+        silence = cluster_last - times[-1]
+        if median_gap > 0 and silence > gap_factor * median_gap:
+            alerts.append(Alert(
+                kind="dead-rank", at=times[-1], until=cluster_last,
+                metric=f"rank{rank}.completed",
+                detail=(f"rank {rank} completions stopped at "
+                        f"t={times[-1]:.3f}s; cluster kept serving "
+                        f"for {silence * 1000:.1f} ms "
+                        f"({silence / median_gap:.0f}x the rank's "
+                        "median completion gap)")))
+    return alerts
+
+
+def serve_alerts(result: Any, session: Optional[Any] = None,
+                 policy: Optional[BurnRatePolicy] = None,
+                 window: Optional[float] = None) -> list[Alert]:
+    """The full alert sweep for one serving / cluster result.
+
+    Burn-rate over the result's request outcomes, plus (when a
+    session is given) queue-slope and dead-rank anomalies from its
+    timeline.  Returns alerts sorted by (time, kind, metric).
+    """
+    wall = result.wall_seconds
+    end = result.prepare_seconds + wall
+    if policy is None:
+        policy = default_policy(wall)
+    if hasattr(result, "shards"):
+        requests = [r for s in result.shards
+                    for r in s.result.requests]
+        requests += list(result.abandoned_requests)
+    else:
+        requests = result.requests
+    outcomes = request_outcomes(requests, result.slo_seconds)
+    alerts = burn_rate_alerts(outcomes, end, policy)
+    if session is not None:
+        width = window if window is not None else policy.fast_s
+        alerts += queue_slope_alerts(session, width, end=end)
+        alerts += dead_rank_alerts(session)
+    alerts.sort(key=lambda a: (a.at, a.kind, a.metric))
+    return alerts
+
+
+def render_alerts(alerts: list[Alert],
+                  policy: Optional[BurnRatePolicy] = None) -> str:
+    """Deterministic text section for the SLO / cluster reports."""
+    lines = ["  alerts"]
+    if policy is not None:
+        lines[0] += (f" (burn-rate windows "
+                     f"{policy.fast_s * 1000:.0f}/"
+                     f"{policy.slow_s * 1000:.0f} ms, "
+                     f"threshold {policy.threshold:.1f}x)")
+    if not alerts:
+        lines.append("    none fired")
+        return "\n".join(lines)
+    for alert in alerts:
+        lines.append(
+            f"    [{alert.kind}] {alert.at:.3f}s - "
+            f"{alert.until:.3f}s  {alert.metric}: {alert.detail}")
+    return "\n".join(lines)

@@ -39,11 +39,18 @@ class TracerClock:
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count.
 
-    def __init__(self, name: str) -> None:
+    When the owning registry carries a timeline recorder, every
+    increment is also logged as a timestamped event so windowed rates
+    can be recovered after the run.
+    """
+
+    def __init__(self, name: str, clock=None, timeline=None) -> None:
         self.name = name
         self.value = 0.0
+        self._clock = clock
+        self._timeline = timeline
 
     def inc(self, amount: float = 1.0) -> None:
         """Add *amount* (must be >= 0) to the counter."""
@@ -51,6 +58,9 @@ class Counter:
             raise ObservabilityError(
                 f"counter {self.name!r}: negative increment {amount}")
         self.value += amount
+        if self._timeline is not None:
+            self._timeline.record_inc(self.name, self._clock.now,
+                                      amount)
 
     def __repr__(self) -> str:
         return f"<Counter {self.name}={self.value}>"
@@ -146,13 +156,18 @@ class Histogram:
     describe only the steady state.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, clock=None, timeline=None) -> None:
         self.name = name
         self.observations: list[float] = []
+        self._clock = clock
+        self._timeline = timeline
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         self.observations.append(float(value))
+        if self._timeline is not None:
+            self._timeline.record_value(self.name, self._clock.now,
+                                        float(value))
 
     def snapshot(self) -> HistogramSnapshot:
         """Frozen copy of the observations recorded so far."""
@@ -208,8 +223,11 @@ class Histogram:
 class MetricsRegistry:
     """Get-or-create namespace of counters, gauges and histograms."""
 
-    def __init__(self, clock: TracerClock) -> None:
+    def __init__(self, clock: TracerClock, timeline=None) -> None:
         self._clock = clock
+        #: Optional :class:`~repro.obs.timeline.TimelineRecorder`
+        #: receiving timestamped counter/histogram events.
+        self._timeline = timeline
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -218,7 +236,8 @@ class MetricsRegistry:
         """The counter called *name*, created on first use."""
         if name not in self._counters:
             self._check_free(name, self._counters)
-            self._counters[name] = Counter(name)
+            self._counters[name] = Counter(name, self._clock,
+                                           self._timeline)
         return self._counters[name]
 
     def gauge(self, name: str) -> Gauge:
@@ -232,7 +251,8 @@ class MetricsRegistry:
         """The histogram called *name*, created on first use."""
         if name not in self._histograms:
             self._check_free(name, self._histograms)
-            self._histograms[name] = Histogram(name)
+            self._histograms[name] = Histogram(name, self._clock,
+                                               self._timeline)
         return self._histograms[name]
 
     def _check_free(self, name: str, target: dict) -> None:

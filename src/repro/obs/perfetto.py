@@ -58,10 +58,18 @@ def to_chrome_trace(session: ObsSession) -> dict[str, Any]:
         "name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": 0,
         "args": {"name": "repro simulation"},
     }]
+    # Tracks come from spans plus any request-trace hops recorded on
+    # tracks that never opened a span (e.g. a shard stream's delivery
+    # point) — flow events need a thread to land on either way.
+    all_tracks = set(tracer.tracks())
+    reqtrace = getattr(session, "reqtrace", None)
+    if reqtrace is not None:
+        for trace in reqtrace.traces():
+            all_tracks.update(hop.track for hop in trace.hops)
     tids: dict[str, int] = {}
     pids: dict[str, int] = {}
     named_rank_pids: set[int] = set()
-    for i, track in enumerate(sorted(tracer.tracks()), start=1):
+    for i, track in enumerate(sorted(all_tracks), start=1):
         rank = _rank_of(track)
         pid = TRACE_PID if rank is None else TRACE_PID + rank
         tids[track] = i
@@ -107,6 +115,39 @@ def to_chrome_trace(session: ObsSession) -> dict[str, Any]:
                 "tid": 0, "ts": t * US_PER_SECOND,
                 "args": {"value": v},
             })
+
+    # Request-scoped flow events: each sampled request's hop chain
+    # becomes one named flow (s -> t ... -> f), anchored to small
+    # marker slices on the hop's track — so one request's life is
+    # clickable across rank process groups in the Perfetto UI.
+    if reqtrace is not None:
+        for trace in reqtrace.traces():
+            hops = trace.hops
+            flow = f"req{trace.trace_id}"
+            for j, hop in enumerate(hops):
+                ts = hop.t * US_PER_SECOND
+                args = {k: _json_safe(v) for k, v in hop.args.items()}
+                args["trace_id"] = trace.trace_id
+                args["span_id"] = hop.span_id
+                args["parent_span"] = hop.parent_span
+                events.append({
+                    "name": f"{flow}/{hop.stage}", "cat": "reqtrace",
+                    "ph": "X", "pid": pids[hop.track],
+                    "tid": tids[hop.track], "ts": ts, "dur": 1.0,
+                    "args": args,
+                })
+                if len(hops) < 2:
+                    continue
+                phase = ("s" if j == 0
+                         else "f" if j == len(hops) - 1 else "t")
+                flow_event = {
+                    "name": flow, "cat": "reqtrace", "ph": phase,
+                    "id": trace.trace_id, "pid": pids[hop.track],
+                    "tid": tids[hop.track], "ts": ts,
+                }
+                if phase == "f":
+                    flow_event["bp"] = "e"
+                events.append(flow_event)
 
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 

@@ -24,6 +24,23 @@ TRANSFER_SPAN = "usb_transfer"
 HOST_TRACK_SUFFIX = "/host"
 #: Instant-event name the NCS device model emits when a stick dies.
 FAILURE_MARK = "device_failed"
+#: Instant-event name the cluster frontend emits when a rank dies.
+HOST_KILLED_MARK = "host_killed"
+
+
+def dead_ranks(session: ObsSession) -> dict[int, float]:
+    """Ranks killed mid-run, mapped to their death time.
+
+    Read from the ``host_killed`` instants the cluster frontend
+    records; empty for runs without host deaths.
+    """
+    deaths: dict[int, float] = {}
+    for mark in sorted(session.tracer.by_name(HOST_KILLED_MARK),
+                       key=lambda s: (s.start, s.track)):
+        rank = mark.args.get("rank")
+        if rank is not None and int(rank) not in deaths:
+            deaths[int(rank)] = mark.start
+    return deaths
 
 
 def device_utilisation(session: ObsSession,
@@ -185,11 +202,23 @@ def utilisation_report(session: ObsSession,
             lines.append(f"  {name:<28} {value:>10.0f}")
 
     ranks = rank_activity(session)
-    if ranks:
+    deaths = dead_ranks(session)
+    if ranks or deaths:
+        # A rank killed before it resolved anything has no non-zero
+        # counters; list it anyway so a dead host never silently
+        # disappears from the report.
+        for rank in deaths:
+            ranks.setdefault(f"rank{rank}", {})
         lines.append("")
         lines.append(f"  {'per-rank serving':<28} {'requests':>10}")
-        for rank, metrics in ranks.items():
-            for name, value in metrics.items():
+        for rank in sorted(ranks,
+                           key=lambda r: int(r.removeprefix("rank"))):
+            rank_no = int(rank.removeprefix("rank"))
+            if rank_no in deaths:
+                lines.append(
+                    f"  {rank} DEAD (killed @ "
+                    f"{deaths[rank_no] * 1000:.1f} ms)")
+            for name, value in ranks[rank].items():
                 lines.append(
                     f"  {rank + '.' + name:<28} {value:>10.0f}")
 
@@ -200,7 +229,11 @@ def utilisation_report(session: ObsSession,
         for name in sorted(links):
             lines.append(f"  {name:<14} {links[name]:>9.1%}")
 
-    gauges = [g for g in session.metrics.gauges() if len(g)]
+    # Sorted by name, not creation order: metric creation order shifts
+    # with event interleaving (e.g. which host died first), and the
+    # report must render identically for identical runs regardless.
+    gauges = sorted((g for g in session.metrics.gauges() if len(g)),
+                    key=lambda g: g.name)
     if gauges:
         lines.append("")
         lines.append(f"  {'gauge':<28} {'last':>8} {'avg':>8} "
@@ -210,14 +243,18 @@ def utilisation_report(session: ObsSession,
                 f"  {g.name:<28} {g.last:>8.2f} "
                 f"{g.time_average():>8.2f} {g.maximum():>8.2f}")
 
-    counters = [c for c in session.metrics.counters() if c.value]
+    counters = sorted(
+        (c for c in session.metrics.counters() if c.value),
+        key=lambda c: c.name)
     if counters:
         lines.append("")
         lines.append(f"  {'counter':<28} {'value':>10}")
         for c in counters:
             lines.append(f"  {c.name:<28} {c.value:>10.0f}")
 
-    histograms = [h for h in session.metrics.histograms() if h.count]
+    histograms = sorted(
+        (h for h in session.metrics.histograms() if h.count),
+        key=lambda h: h.name)
     if histograms:
         lines.append("")
         lines.append(f"  {'histogram':<24} {'n':>6} {'p50 ms':>9} "

@@ -1,0 +1,301 @@
+"""Request-scoped causal tracing across the serving stack.
+
+PR 1's spans answer "what was each actor doing when"; this module
+answers the orthogonal question — "where did *this request's* time
+go".  A :class:`TraceContext` rides on the
+:class:`~repro.serve.workload.Request` itself, so one request's
+journey stays causally linked as it crosses actor boundaries: the
+cluster frontend, a shard stream window, a host rank's admission
+queue, the dynamic batcher, a backend's dispatch queue, and finally
+the device call inside the multi-VPU scheduler.  Each boundary
+records a :class:`Hop` — a (stage, track, time) triple with a span id
+chained to the previous hop — into the session's
+:class:`RequestTracer`.
+
+Three read-side products come out of the hop log:
+
+* a **waterfall** (:meth:`RequestTracer.waterfall`): the request's
+  time-in-stage breakdown, whose stage durations telescope exactly to
+  the end-to-end latency;
+* a **critical path** (:meth:`RequestTracer.critical_path`): which
+  batched sibling gated the batch window and which stage dominated;
+* **Perfetto flow events** (:mod:`repro.obs.perfetto`): the hop chain
+  exported as ``s``/``t``/``f`` flow arrows, so one request's life is
+  clickable across rank process groups in the trace viewer.
+
+Everything here obeys the zero-cost contract: no hop is recorded
+unless an :class:`~repro.obs.session.ObsSession` is attached
+(``env.obs is not None``) *and* the request was sampled
+(``request.trace is not None``).  Recording never creates simulation
+events, so results are byte-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ObservabilityError
+
+#: Hop stages considered terminal (the request's journey ended there).
+TERMINAL_STAGES = ("completed", "rejected", "shed", "timed_out",
+                   "abandoned", "frontend_abandoned")
+
+#: Interval label for the gap *ending* at a hop of the given stage.
+#: Stages not listed label their interval with their own name.
+_INTERVAL_LABELS = {
+    "sharded": "routing",
+    "delivered": "shard_wire",
+    "admitted": "admission",
+    "dequeued": "queued",
+    "dispatched": "batched",
+    "device_submit": "dispatch",
+    "device_done": "compute",
+    "completed": "return",
+}
+
+
+@dataclass
+class TraceContext:
+    """The causal context carried on a sampled request.
+
+    ``parent_span`` is the span id of the most recent hop, so each new
+    hop chains to its predecessor; ``hops`` counts propagation steps
+    (a re-sharded request keeps its context and its count grows).
+    """
+
+    trace_id: int
+    parent_span: int = 0
+    hops: int = 0
+
+
+@dataclass
+class Hop:
+    """One boundary crossing in a request's journey."""
+
+    span_id: int
+    parent_span: int
+    stage: str
+    track: str
+    t: float
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RequestTrace:
+    """The full hop log of one sampled request."""
+
+    trace_id: int
+    hops: list[Hop] = field(default_factory=list)
+
+    @property
+    def start(self) -> float:
+        """Timestamp of the first hop (the arrival)."""
+        if not self.hops:
+            raise ObservabilityError(
+                f"trace {self.trace_id} has no hops")
+        return self.hops[0].t
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last hop recorded so far."""
+        if not self.hops:
+            raise ObservabilityError(
+                f"trace {self.trace_id} has no hops")
+        return self.hops[-1].t
+
+    @property
+    def terminal_stage(self) -> Optional[str]:
+        """The terminal stage reached, or None while in flight."""
+        for hop in reversed(self.hops):
+            if hop.stage in TERMINAL_STAGES:
+                return hop.stage
+        return None
+
+    @property
+    def completed(self) -> bool:
+        """True when the request's journey ended in ``completed``."""
+        return self.terminal_stage == "completed"
+
+
+class RequestTracer:
+    """Per-session store of sampled request traces.
+
+    ``sample_every=k`` samples every k-th request id (``id % k == 0``)
+    — deterministic, so two same-seed runs sample the same requests.
+    The tracer shares the session tracer's clock, so hop timestamps
+    line up with span timestamps in the Perfetto export.
+    """
+
+    def __init__(self, tracer: Any, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ObservabilityError(
+                f"sample_every must be >= 1, got {sample_every}")
+        self._tracer = tracer
+        self.sample_every = sample_every
+        self._traces: dict[int, RequestTrace] = {}
+        self._next_span = 1
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    # -- recording -------------------------------------------------------
+    def sampled(self, request_id: int) -> bool:
+        """Whether a request id falls in the sample."""
+        return request_id % self.sample_every == 0
+
+    def begin(self, request: Any, track: str = "serve",
+              t: Optional[float] = None) -> None:
+        """Attach a context to *request* and record its arrival hop.
+
+        Idempotent per request: a request that already carries a
+        context (a re-shard, say) keeps it.  Unsampled requests are
+        left untouched — their ``trace`` stays None and every
+        downstream hop call falls through on that check.  Pass ``t``
+        to backdate the arrival hop to the request's nominal arrival
+        time, so the waterfall telescopes exactly to its end-to-end
+        latency.
+        """
+        if request.trace is not None:
+            return
+        if not self.sampled(request.request_id):
+            return
+        ctx = TraceContext(trace_id=request.request_id)
+        request.trace = ctx
+        self._traces[ctx.trace_id] = RequestTrace(trace_id=ctx.trace_id)
+        self.hop(ctx, "arrival", track=track, t=t)
+
+    def hop(self, ctx: Optional[TraceContext], stage: str, track: str,
+            t: Optional[float] = None, **args: Any) -> None:
+        """Record one boundary crossing for *ctx* (no-op when None)."""
+        if ctx is None:
+            return
+        trace = self._traces.get(ctx.trace_id)
+        if trace is None:  # context from another session: ignore
+            return
+        span_id = self._next_span
+        self._next_span += 1
+        trace.hops.append(Hop(
+            span_id=span_id, parent_span=ctx.parent_span,
+            stage=stage, track=track,
+            t=self._tracer.now() if t is None else t,
+            args=dict(args)))
+        ctx.parent_span = span_id
+        ctx.hops += 1
+
+    # -- queries ---------------------------------------------------------
+    def traces(self) -> list[RequestTrace]:
+        """All sampled traces, sorted by trace id."""
+        return [self._traces[tid] for tid in sorted(self._traces)]
+
+    def get(self, trace_id: int) -> RequestTrace:
+        """The trace of one request id (raises when unsampled)."""
+        if trace_id not in self._traces:
+            raise ObservabilityError(
+                f"request {trace_id} was not sampled in this session")
+        return self._traces[trace_id]
+
+    def waterfall(self, trace_id: int) -> list[dict[str, Any]]:
+        """Time-in-stage breakdown of one request.
+
+        Each row maps ``stage``, ``t0``, ``t1``, ``seconds`` and
+        ``track``; consecutive rows tile the journey without gaps, so
+        the ``seconds`` column telescopes exactly to ``end - start``
+        (the end-to-end latency for a completed request).
+        """
+        trace = self.get(trace_id)
+        rows: list[dict[str, Any]] = []
+        for prev, hop in zip(trace.hops, trace.hops[1:]):
+            label = _INTERVAL_LABELS.get(hop.stage, hop.stage)
+            rows.append({
+                "stage": label,
+                "t0": prev.t,
+                "t1": hop.t,
+                "seconds": hop.t - prev.t,
+                "track": hop.track,
+            })
+        return rows
+
+    def siblings(self, trace_id: int) -> list[RequestTrace]:
+        """Sampled requests served in the same batch as *trace_id*.
+
+        Siblings share the dispatch timestamp and track (one backend
+        dispatches one batch at one instant).  Includes the request
+        itself; unsampled batch members are invisible here.
+        """
+        trace = self.get(trace_id)
+        dispatch = next((h for h in trace.hops
+                         if h.stage == "dispatched"), None)
+        if dispatch is None:
+            return [trace]
+        out = []
+        for other in self.traces():
+            for hop in other.hops:
+                if (hop.stage == "dispatched"
+                        and hop.t == dispatch.t
+                        and hop.track == dispatch.track):
+                    out.append(other)
+                    break
+        return out
+
+    def critical_path(self, trace_id: int) -> dict[str, Any]:
+        """What gated each stage of one request's journey.
+
+        Returns ``stages`` (the waterfall), ``dominant`` (the stage
+        with the largest share of the journey), ``siblings`` (sampled
+        batch co-travellers) and ``batch_gate`` — the sibling whose
+        dequeue closed the batch window (the request itself when it
+        boarded last or rode alone).
+        """
+        trace = self.get(trace_id)
+        stages = self.waterfall(trace_id)
+        dominant = (max(stages, key=lambda r: (r["seconds"],
+                                               r["stage"]))["stage"]
+                    if stages else None)
+        sibs = self.siblings(trace_id)
+
+        def dequeue_time(t: RequestTrace) -> float:
+            for hop in t.hops:
+                if hop.stage == "dequeued":
+                    return hop.t
+            return float("-inf")
+
+        gate = max(sibs, key=lambda t: (dequeue_time(t), t.trace_id))
+        return {
+            "trace_id": trace_id,
+            "stages": stages,
+            "dominant": dominant,
+            "siblings": sorted(t.trace_id for t in sibs),
+            "batch_gate": gate.trace_id,
+            "terminal": trace.terminal_stage,
+        }
+
+
+def render_waterfall(reqtrace: RequestTracer, trace_id: int) -> str:
+    """Fixed-width text rendering of one request's waterfall."""
+    trace = reqtrace.get(trace_id)
+    rows = reqtrace.waterfall(trace_id)
+    total = trace.end - trace.start
+    lines = [f"request {trace_id} waterfall "
+             f"({trace.terminal_stage or 'in flight'}, "
+             f"{total * 1000:.3f} ms end-to-end)"]
+    lines.append(f"  {'stage':<12} {'at ms':>10} {'ms':>10} "
+                 f"{'share':>7}  track")
+    for row in rows:
+        share = row["seconds"] / total if total > 0 else 0.0
+        lines.append(
+            f"  {row['stage']:<12} "
+            f"{(row['t0'] - trace.start) * 1000:>10.3f} "
+            f"{row['seconds'] * 1000:>10.3f} {share:>7.1%}  "
+            f"{row['track']}")
+    lines.append(f"  {'total':<12} {'':>10} {total * 1000:>10.3f} "
+                 f"{'100.0%':>7}")
+    cp = reqtrace.critical_path(trace_id)
+    if len(cp["siblings"]) > 1:
+        lines.append(
+            f"  batched with {len(cp['siblings']) - 1} sampled "
+            f"sibling(s) {cp['siblings']}; window closed by request "
+            f"{cp['batch_gate']}")
+    if cp["dominant"] is not None:
+        lines.append(f"  dominant stage: {cp['dominant']}")
+    return "\n".join(lines)

@@ -20,17 +20,32 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.obs.metrics import MetricsRegistry, TracerClock
+from repro.obs.reqtrace import RequestTracer
+from repro.obs.timeline import TimelineRecorder
 from repro.obs.tracer import Tracer
 from repro.sim.monitor import Monitor
 
 
 class ObsSession:
-    """Bundle of tracer, metrics registry and per-device power probes."""
+    """Bundle of tracer, metrics, timeline, request traces and power
+    probes.
 
-    def __init__(self, enabled: bool = True) -> None:
+    ``sample_every=k`` thins request-scoped tracing to every k-th
+    request id; aggregate metrics and spans are unaffected.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 sample_every: int = 1) -> None:
         self.tracer = Tracer(enabled=enabled)
         self.clock = TracerClock(self.tracer.now)
-        self.metrics = MetricsRegistry(self.clock)
+        #: Timestamped event log behind counters and histograms —
+        #: what the windowed timeline and burn-rate alerts read.
+        self.timeline = TimelineRecorder()
+        self.metrics = MetricsRegistry(self.clock,
+                                       timeline=self.timeline)
+        #: Per-request causal hop traces (see repro.obs.reqtrace).
+        self.reqtrace = RequestTracer(self.tracer,
+                                      sample_every=sample_every)
         self._power: dict[str, Monitor] = {}
         self._proc_started = self.metrics.counter(
             "sim.processes_started")

@@ -1,0 +1,355 @@
+"""Windowed time-series metrics on the simulated clock.
+
+Counters and histograms are cumulative — perfect for end-of-run
+totals, useless for "when did the overload start".  The
+:class:`TimelineRecorder` closes that gap: every counter increment
+and histogram observation in an enabled session is also logged as a
+``(time, value)`` event (gauges already keep their sample history via
+:class:`~repro.sim.monitor.Monitor`), and :func:`timeline_rows` folds
+the event log into fixed-width windows — rates, queue-depth
+time-averages, in-flight maxima and latency digests per window, per
+metric, per rank.
+
+The output is a tidy "experiment dataframe": a list of plain dicts,
+one row per (window, metric), with explicit ``truncated`` marking on
+the final partial window — ready for the harness figure code, for
+:func:`render_timeline`'s text view, and for offline re-analysis via
+the :func:`write_metrics_jsonl` / :func:`load_metrics_jsonl`
+round-trip (the metrics twin of
+:func:`~repro.obs.perfetto.write_chrome_trace`).
+
+Zero-cost contract: the recorder is only ever invoked from
+instrumentation points already guarded by ``env.obs is None``, and
+recording appends to Python lists — no simulation events, no clock
+interaction — so runs stay byte-identical with observability on or
+off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+
+#: Format version stamped into metrics JSONL files.
+METRICS_FORMAT_VERSION = 1
+
+
+class TimelineRecorder:
+    """Timestamped event log behind the cumulative metrics."""
+
+    def __init__(self) -> None:
+        #: Counter increments: name -> [(t, amount), ...] in time order.
+        self.counter_events: dict[str, list[tuple[float, float]]] = {}
+        #: Histogram observations: name -> [(t, value), ...].
+        self.value_events: dict[str, list[tuple[float, float]]] = {}
+
+    def record_inc(self, name: str, t: float, amount: float) -> None:
+        """Log one counter increment."""
+        self.counter_events.setdefault(name, []).append((t, amount))
+
+    def record_value(self, name: str, t: float, value: float) -> None:
+        """Log one histogram observation."""
+        self.value_events.setdefault(name, []).append((t, value))
+
+    def __len__(self) -> int:
+        return (sum(len(v) for v in self.counter_events.values())
+                + sum(len(v) for v in self.value_events.values()))
+
+
+def _windows(end: float, width: float) -> list[tuple[float, float]]:
+    if width <= 0:
+        raise ObservabilityError(
+            f"window width must be positive, got {width}")
+    count = max(1, math.ceil(end / width - 1e-12)) if end > 0 else 1
+    return [(i * width, (i + 1) * width) for i in range(count)]
+
+
+def timeline_rows(session: Any, width: float,
+                  end: Optional[float] = None) -> list[dict[str, Any]]:
+    """Fold a session's metrics into fixed-width window rows.
+
+    One row per (window, metric): counters get ``count`` and ``rate``
+    (events per second of window actually covered), histograms get
+    ``count``/``mean``/``p50``/``p99``, gauges get the time-weighted
+    ``mean`` plus ``max`` and ``last``.  The final window is clipped
+    to *end* (default: the trace extent) and marked
+    ``truncated=True`` when partial, so a host that died mid-window
+    reads as exactly that instead of a mysteriously low rate.
+    """
+    end = session.tracer.extent if end is None else end
+    timeline: TimelineRecorder = session.timeline
+    rows: list[dict[str, Any]] = []
+
+    def base_row(i: int, t0: float, t1: float, name: str,
+                 kind: str) -> dict[str, Any]:
+        clipped = min(t1, end)
+        return {
+            "window": i, "t0": t0, "t1": clipped,
+            "metric": name, "kind": kind,
+            "truncated": clipped < t1,
+        }
+
+    spans = _windows(end, width)
+    for name in sorted(timeline.counter_events):
+        events = timeline.counter_events[name]
+        for i, (t0, t1) in enumerate(spans):
+            row = base_row(i, t0, t1, name, "counter")
+            amounts = [a for t, a in events if t0 <= t < t1
+                       or (t == end and t1 >= end)]
+            covered = row["t1"] - row["t0"]
+            row["count"] = float(sum(amounts))
+            row["rate"] = (row["count"] / covered if covered > 0
+                           else 0.0)
+            rows.append(row)
+
+    for name in sorted(timeline.value_events):
+        events = timeline.value_events[name]
+        for i, (t0, t1) in enumerate(spans):
+            row = base_row(i, t0, t1, name, "histogram")
+            values = [v for t, v in events if t0 <= t < t1
+                      or (t == end and t1 >= end)]
+            row["count"] = float(len(values))
+            if values:
+                arr = np.asarray(values)
+                row["mean"] = float(np.mean(arr))
+                row["p50"] = float(np.percentile(arr, 50))
+                row["p99"] = float(np.percentile(arr, 99))
+            else:
+                row["mean"] = row["p50"] = row["p99"] = None
+            rows.append(row)
+
+    gauges = sorted((g for g in session.metrics.gauges() if len(g)),
+                    key=lambda g: g.name)
+    for gauge in gauges:
+        samples = gauge.samples
+        for i, (t0, t1) in enumerate(spans):
+            row = base_row(i, t0, t1, gauge.name, "gauge")
+            row.update(_gauge_window(samples, t0, row["t1"]))
+            rows.append(row)
+    return rows
+
+
+def _gauge_window(samples: list[tuple[float, float]], t0: float,
+                  t1: float) -> dict[str, Optional[float]]:
+    """Time-weighted mean / max / last of a step signal on [t0, t1]."""
+    # Value entering the window: the last sample at or before t0.
+    current: Optional[float] = None
+    for t, v in samples:
+        if t <= t0:
+            current = v
+        else:
+            break
+    total = 0.0
+    peak = current
+    last = current
+    cursor = t0
+    for t, v in samples:
+        if t <= t0:
+            continue
+        if t >= t1:
+            break
+        if current is not None:
+            total += current * (t - cursor)
+        cursor = t
+        current = v
+        peak = v if peak is None else max(peak, v)
+        last = v
+    if current is not None:
+        total += current * (t1 - cursor)
+    width = t1 - t0
+    if last is None:
+        return {"mean": None, "max": None, "last": None}
+    return {
+        "mean": total / width if width > 0 else float(last),
+        "max": float(peak),
+        "last": float(last),
+    }
+
+
+def render_timeline(session: Any, width: float,
+                    metrics: Optional[list[str]] = None,
+                    end: Optional[float] = None) -> str:
+    """Text view of the windowed timeline, one block per metric.
+
+    *metrics* filters by exact name; default is every recorded
+    metric.  Deterministic: metrics sort by name, windows by index.
+    """
+    rows = timeline_rows(session, width, end=end)
+    if metrics is not None:
+        wanted = set(metrics)
+        rows = [r for r in rows if r["metric"] in wanted]
+    lines = [f"timeline (window {width * 1000:.1f} ms)"]
+    if not rows:
+        lines.append("  no recorded metrics")
+        return "\n".join(lines)
+    by_metric: dict[str, list[dict[str, Any]]] = {}
+    for row in rows:
+        by_metric.setdefault(row["metric"], []).append(row)
+    for name in sorted(by_metric):
+        group = sorted(by_metric[name], key=lambda r: r["window"])
+        kind = group[0]["kind"]
+        lines.append(f"  {name} [{kind}]")
+        if kind == "counter":
+            header = f"    {'win':>4} {'t0 ms':>9} {'count':>7} {'rate/s':>9}"
+        elif kind == "histogram":
+            header = (f"    {'win':>4} {'t0 ms':>9} {'count':>7} "
+                      f"{'p50 ms':>9} {'p99 ms':>9}")
+        else:
+            header = (f"    {'win':>4} {'t0 ms':>9} {'mean':>8} "
+                      f"{'max':>8} {'last':>8}")
+        lines.append(header)
+        for row in group:
+            mark = " *" if row["truncated"] else ""
+            if kind == "counter":
+                lines.append(
+                    f"    {row['window']:>4} {row['t0'] * 1000:>9.1f} "
+                    f"{row['count']:>7.0f} {row['rate']:>9.1f}{mark}")
+            elif kind == "histogram":
+                p50 = ("      -" if row["p50"] is None
+                       else f"{row['p50'] * 1000:>9.2f}")
+                p99 = ("      -" if row["p99"] is None
+                       else f"{row['p99'] * 1000:>9.2f}")
+                lines.append(
+                    f"    {row['window']:>4} {row['t0'] * 1000:>9.1f} "
+                    f"{row['count']:>7.0f} {p50:>9} {p99:>9}{mark}")
+            else:
+                def fmt(v: Optional[float]) -> str:
+                    return "       -" if v is None else f"{v:>8.2f}"
+                lines.append(
+                    f"    {row['window']:>4} {row['t0'] * 1000:>9.1f} "
+                    f"{fmt(row['mean'])} {fmt(row['max'])} "
+                    f"{fmt(row['last'])}{mark}")
+    if any(r["truncated"] for r in rows):
+        lines.append("  * window truncated at end of recording")
+    return "\n".join(lines)
+
+
+# -- offline persistence --------------------------------------------------
+def _dump_line(obj: dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def write_metrics_jsonl(session: Any, path: str | Path) -> Path:
+    """Serialise a session's metrics + request traces as JSONL.
+
+    The metrics twin of
+    :func:`~repro.obs.perfetto.write_chrome_trace`: one self-framing
+    JSON object per line — meta, counters (with their timeline
+    events), gauges (sample history), histograms (observations and
+    events), power monitors and sampled request traces.  The file
+    round-trips through :func:`load_metrics_jsonl` byte-for-byte and
+    is what ``trace-analyze`` consumes offline.
+    """
+    lines = [_dump_line({
+        "kind": "meta",
+        "version": METRICS_FORMAT_VERSION,
+        "extent": session.tracer.extent,
+        "sample_every": session.reqtrace.sample_every,
+    })]
+    timeline: TimelineRecorder = session.timeline
+    for counter in session.metrics.counters():
+        lines.append(_dump_line({
+            "kind": "counter", "name": counter.name,
+            "value": counter.value,
+            "events": [[t, a] for t, a in
+                       timeline.counter_events.get(counter.name, [])],
+        }))
+    for gauge in session.metrics.gauges():
+        lines.append(_dump_line({
+            "kind": "gauge", "name": gauge.name,
+            "samples": [[t, v] for t, v in gauge.samples],
+        }))
+    for hist in session.metrics.histograms():
+        lines.append(_dump_line({
+            "kind": "histogram", "name": hist.name,
+            "observations": list(hist.observations),
+            "events": [[t, v] for t, v in
+                       timeline.value_events.get(hist.name, [])],
+        }))
+    for device, monitor in sorted(session.power_monitors().items()):
+        lines.append(_dump_line({
+            "kind": "power", "device": device,
+            "samples": [[t, v] for t, v in
+                        zip(monitor.times, monitor.values)],
+        }))
+    for trace in session.reqtrace.traces():
+        lines.append(_dump_line({
+            "kind": "trace", "trace_id": trace.trace_id,
+            "hops": [{"span": h.span_id, "parent": h.parent_span,
+                      "stage": h.stage, "track": h.track, "t": h.t,
+                      "args": h.args} for h in trace.hops],
+        }))
+    path = Path(path)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_metrics_jsonl(path: str | Path) -> Any:
+    """Reconstruct an :class:`~repro.obs.session.ObsSession` view
+    from a :func:`write_metrics_jsonl` file.
+
+    The loaded session supports the read side — ``timeline_rows``,
+    waterfalls, alerts, a second ``write_metrics_jsonl`` — but is not
+    attached to any environment and records nothing further.
+    """
+    from repro.obs.reqtrace import Hop, RequestTrace
+    from repro.obs.session import ObsSession
+
+    path = Path(path)
+    try:
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines() if line]
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(
+            f"{path}: not a metrics JSONL file ({exc})") from exc
+    if not records or records[0].get("kind") != "meta":
+        raise ObservabilityError(
+            f"{path}: not a metrics JSONL file (missing meta line)")
+    meta = records[0]
+    if meta.get("version") != METRICS_FORMAT_VERSION:
+        raise ObservabilityError(
+            f"{path}: unsupported metrics format version "
+            f"{meta.get('version')!r}")
+    session = ObsSession(sample_every=meta.get("sample_every", 1))
+    session.tracer._high_water = float(meta.get("extent", 0.0))
+    for rec in records[1:]:
+        kind = rec.get("kind")
+        if kind == "counter":
+            counter = session.metrics.counter(rec["name"])
+            counter.value = float(rec["value"])
+            session.timeline.counter_events[rec["name"]] = [
+                (float(t), float(a)) for t, a in rec["events"]]
+        elif kind == "gauge":
+            gauge = session.metrics.gauge(rec["name"])
+            monitor = gauge._monitor
+            monitor.times = [float(t) for t, _ in rec["samples"]]
+            monitor.values = [float(v) for _, v in rec["samples"]]
+        elif kind == "histogram":
+            hist = session.metrics.histogram(rec["name"])
+            hist.observations = [float(v)
+                                 for v in rec["observations"]]
+            session.timeline.value_events[rec["name"]] = [
+                (float(t), float(v)) for t, v in rec["events"]]
+        elif kind == "power":
+            monitor = session.power_monitor(rec["device"])
+            monitor.times = [float(t) for t, _ in rec["samples"]]
+            monitor.values = [float(v) for _, v in rec["samples"]]
+        elif kind == "trace":
+            trace = RequestTrace(trace_id=int(rec["trace_id"]))
+            for h in rec["hops"]:
+                trace.hops.append(Hop(
+                    span_id=int(h["span"]),
+                    parent_span=int(h["parent"]),
+                    stage=h["stage"], track=h["track"],
+                    t=float(h["t"]), args=dict(h["args"])))
+            session.reqtrace._traces[trace.trace_id] = trace
+        else:
+            raise ObservabilityError(
+                f"{path}: unknown record kind {kind!r}")
+    return session

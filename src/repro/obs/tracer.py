@@ -105,6 +105,14 @@ class Tracer:
             self._high_water = t
         return t
 
+    def timestamp(self, env_time: float) -> float:
+        """Map a raw environment clock reading onto the trace
+        timeline (same offset correction as :meth:`now`), e.g. to
+        backdate a record to a submit time noted earlier."""
+        if self._env is None:
+            return self._high_water
+        return self._offset + (env_time - self._base)
+
     # -- enable / disable ------------------------------------------------
     @property
     def enabled(self) -> bool:

@@ -94,20 +94,24 @@ class DynamicBatcher:
         if item is None:
             return None
         item.dequeued_at = self.env.now
+        obs = self.env.obs
         if (item.deadline_at is not None
                 and self.env.now > item.deadline_at):
             self.timed_out_count += 1
             item.status = TIMED_OUT
-            obs = self.env.obs
             if obs is not None:
                 obs.metrics.counter(
                     f"{self.metrics_prefix}.timed_out").inc()
                 obs.tracer.instant("request_timed_out",
                                    track=self.metrics_prefix,
                                    request=item.request_id)
+                obs.reqtrace.hop(item.trace, "timed_out",
+                                 track=self.track)
             if self.on_timeout is not None:
                 self.on_timeout(item)
             return None
+        if obs is not None:
+            obs.reqtrace.hop(item.trace, "dequeued", track=self.track)
         return item
 
     def _run(self) -> Generator[Event, None, None]:

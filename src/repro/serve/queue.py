@@ -110,6 +110,8 @@ class AdmissionQueue:
                     obs.tracer.instant("request_rejected",
                                        track=self.name,
                                        request=request.request_id)
+                    obs.reqtrace.hop(request.trace, "rejected",
+                                     track=self.name)
                 if self.on_drop is not None:
                     self.on_drop(request)
                 return None
@@ -124,6 +126,8 @@ class AdmissionQueue:
         obs = self.env.obs
         if obs is not None:
             obs.metrics.gauge(f"{self.name}.queue_depth").set(len(self))
+            obs.reqtrace.hop(request.trace, "admitted",
+                             track=self.name, depth=len(self))
 
     def _shed_oldest(self) -> None:
         items = self._store.items
@@ -140,6 +144,7 @@ class AdmissionQueue:
             obs.metrics.counter(f"{self.name}.shed").inc()
             obs.tracer.instant("request_shed", track=self.name,
                                request=victim.request_id)
+            obs.reqtrace.hop(victim.trace, "shed", track=self.name)
         if self.on_drop is not None:
             self.on_drop(victim)
 

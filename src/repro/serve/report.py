@@ -27,8 +27,15 @@ def _pcts(values: list[float]) -> Optional[tuple[float, float, float, float]]:
 
 
 def render_slo_report(result: ServeResult,
-                      workload: str = "") -> str:
-    """Render the full human-readable serving report."""
+                      workload: str = "",
+                      alerts=None, policy=None) -> str:
+    """Render the full human-readable serving report.
+
+    Pass ``alerts`` (a list from
+    :func:`repro.obs.alerts.serve_alerts`) to append an SLO-alert
+    section; the default rendering is unchanged so existing golden
+    outputs stay byte-identical.
+    """
     lines = ["serve report"]
     if workload:
         lines.append(f"  workload       : {workload}")
@@ -109,4 +116,8 @@ def render_slo_report(result: ServeResult,
             lines.append(
                 f"  {name:<12} {count:>7} "
                 f"{count / result.completed:>7.1%}")
+    if alerts is not None:
+        from repro.obs.alerts import render_alerts
+        lines.append("")
+        lines.append(render_alerts(alerts, policy=policy))
     return "\n".join(lines)

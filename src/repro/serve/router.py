@@ -138,9 +138,14 @@ class Backend:
                     req.dispatched_at = t0
                     req.backend = self.name
                     req.batch_size = len(batch)
+                    if obs is not None:
+                        obs.reqtrace.hop(req.trace, "dispatched",
+                                         track=self.track,
+                                         backend=self.name,
+                                         batch=len(batch))
                 items = [WorkItem(index=req.request_id,
                                   image_id=req.request_id, label=None,
-                                  tensor=req.tensor)
+                                  tensor=req.tensor, trace=req.trace)
                          for req in batch]
                 span = None
                 if obs is not None:
@@ -167,6 +172,9 @@ class Backend:
                 for req in completed:
                     req.completed_at = now
                     req.status = COMPLETED
+                    if obs is not None:
+                        obs.reqtrace.hop(req.trace, "completed",
+                                         track=self.track)
                 self.outstanding -= len(batch)
                 if obs is not None:
                     obs.metrics.gauge(
@@ -312,5 +320,7 @@ class Router:
             obs.tracer.instant("request_abandoned",
                                track=self.metrics_prefix,
                                request=req.request_id)
+            obs.reqtrace.hop(req.trace, "abandoned",
+                             track=self.metrics_prefix)
         if self.on_abandon is not None:
             self.on_abandon(req)

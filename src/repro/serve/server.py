@@ -234,4 +234,10 @@ def _arrivals(env: Environment, requests: list[Request],
             yield env.timeout(request.arrival_time - env.now)
         if obs is not None:
             obs.metrics.counter("serve.offered").inc()
+            # Backdate the arrival hop to the nominal arrival time so
+            # the waterfall telescopes exactly to the e2e latency even
+            # for same-instant burst arrivals.
+            obs.reqtrace.begin(
+                request, track="serve",
+                t=obs.tracer.timestamp(request.arrival_time))
         queue.offer(request)

@@ -1,0 +1,414 @@
+"""Tests for the request-scoped observability plane.
+
+Three coupled pieces under test: causal request traces with
+waterfalls and Perfetto flow events (:mod:`repro.obs.reqtrace`),
+windowed time-series aggregation with a JSONL round-trip
+(:mod:`repro.obs.timeline`), and SLO burn-rate / anomaly alerting
+(:mod:`repro.obs.alerts`) — plus the zero-cost contract: a run with
+observability attached renders byte-identical reports to one without.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterServer, render_cluster_report
+from repro.errors import ObservabilityError
+from repro.harness.cli import main
+from repro.ncsw.faults import FaultPlan
+from repro.obs import (
+    ObsSession,
+    BurnRatePolicy,
+    burn_rate_alerts,
+    dead_rank_alerts,
+    dead_ranks,
+    default_policy,
+    load_metrics_jsonl,
+    outcomes_from_traces,
+    queue_slope_alerts,
+    render_timeline,
+    render_waterfall,
+    request_outcomes,
+    serve_alerts,
+    timeline_rows,
+    to_chrome_trace,
+    utilisation_report,
+    write_metrics_jsonl,
+)
+from repro.serve import PoissonWorkload
+
+
+# -- helpers ----------------------------------------------------------------
+
+def _cluster_run(chaos_graph, *, hosts=2, requests=80, rate=400.0,
+                 seed=0, obs=None, **kwargs):
+    from repro.ncsw import IntelVPU
+
+    kwargs.setdefault("slo_seconds", 60.0)
+    targets = [IntelVPU(graph=chaos_graph, num_devices=1,
+                        functional=False) for _ in range(hosts)]
+    server = ClusterServer(targets, obs=obs, **kwargs)
+    return server.run(PoissonWorkload(rate=rate, seed=seed), requests)
+
+
+@pytest.fixture(scope="module")
+def traced_cluster(chaos_graph):
+    """One healthy 2-host cluster run with full request tracing."""
+    obs = ObsSession()
+    result = _cluster_run(chaos_graph, obs=obs)
+    return result, obs
+
+
+@pytest.fixture(scope="module")
+def killed_cluster(chaos_graph):
+    """A 3-host run where host 1 dies mid-serve (after prepare)."""
+    obs = ObsSession()
+    result = _cluster_run(chaos_graph, hosts=3, requests=400,
+                          rate=500.0, obs=obs,
+                          host_faults=FaultPlan.kill(1, 0.75))
+    return result, obs
+
+
+# -- request traces / waterfalls --------------------------------------------
+
+def test_waterfall_tiles_and_telescopes_to_e2e(serve_run):
+    obs = ObsSession()
+    result = serve_run(requests=40, rate=100.0, obs=obs)
+    done = {r.request_id: r for r in result.requests
+            if r.status == "completed"}
+    trace = next(t for t in obs.reqtrace.traces() if t.completed
+                 and t.trace_id in done)
+    req = done[trace.trace_id]
+
+    # Arrival hop is backdated to the request's nominal arrival.
+    assert trace.start == req.arrival_time
+    rows = obs.reqtrace.waterfall(trace.trace_id)
+    assert rows, "completed request must have stage intervals"
+    # Consecutive rows tile the journey with no gaps...
+    assert rows[0]["t0"] == trace.start
+    assert rows[-1]["t1"] == trace.end
+    for a, b in zip(rows, rows[1:]):
+        assert a["t1"] == b["t0"]
+    # ...so the stage durations telescope to the e2e latency.
+    total = sum(r["seconds"] for r in rows)
+    assert total == pytest.approx(req.e2e_latency, rel=1e-9)
+    assert trace.end - trace.start == pytest.approx(req.e2e_latency)
+
+
+def test_serve_hop_chain_is_causally_linked(serve_run):
+    obs = ObsSession()
+    serve_run(requests=30, rate=100.0, obs=obs)
+    trace = next(t for t in obs.reqtrace.traces() if t.completed)
+    stages = [h.stage for h in trace.hops]
+    # The serve-layer journey, in order.
+    expected = ["arrival", "admitted", "dequeued", "dispatched",
+                "device_submit", "device_done", "completed"]
+    positions = [stages.index(s) for s in expected]
+    assert positions == sorted(positions)
+    # Each hop chains to its predecessor's span id.
+    for prev, hop in zip(trace.hops, trace.hops[1:]):
+        assert hop.parent_span == prev.span_id
+
+
+def test_cluster_trace_crosses_rank_boundaries(traced_cluster):
+    _result, obs = traced_cluster
+    trace = next(t for t in obs.reqtrace.traces() if t.completed)
+    stages = [h.stage for h in trace.hops]
+    assert stages[0] == "arrival"
+    assert "sharded" in stages        # frontend routing
+    assert "delivered" in stages      # MPI stream hop
+    assert "device_done" in stages    # device call on the host rank
+    assert stages[-1] == "completed"
+    tracks = {h.track for h in trace.hops}
+    assert "cluster" in tracks
+    assert any(t.startswith("rank") for t in tracks)
+
+
+def test_critical_path_names_batch_gate(serve_run):
+    obs = ObsSession()
+    # High rate so batches actually form.
+    serve_run(requests=40, rate=800.0, obs=obs)
+    trace = next(t for t in obs.reqtrace.traces() if t.completed)
+    cp = obs.reqtrace.critical_path(trace.trace_id)
+    assert cp["terminal"] == "completed"
+    assert cp["dominant"] in {r["stage"] for r in cp["stages"]}
+    assert trace.trace_id in cp["siblings"]
+    assert cp["batch_gate"] in cp["siblings"]
+    sibs = obs.reqtrace.siblings(trace.trace_id)
+    assert sorted(t.trace_id for t in sibs) == cp["siblings"]
+
+
+def test_render_waterfall_is_deterministic(serve_run):
+    obs = ObsSession()
+    serve_run(requests=30, rate=100.0, obs=obs)
+    trace = next(t for t in obs.reqtrace.traces() if t.completed)
+    text = render_waterfall(obs.reqtrace, trace.trace_id)
+    assert "end-to-end" in text
+    assert "dominant stage:" in text
+    assert text == render_waterfall(obs.reqtrace, trace.trace_id)
+
+
+def test_sampling_thins_traces_deterministically(serve_run):
+    obs = ObsSession(sample_every=4)
+    result = serve_run(requests=40, rate=100.0, obs=obs)
+    ids = {t.trace_id for t in obs.reqtrace.traces()}
+    assert ids == {r.request_id for r in result.requests
+                   if r.request_id % 4 == 0}
+    # Unsampled requests never grew a context.
+    for req in result.requests:
+        assert (req.trace is not None) == (req.request_id % 4 == 0)
+
+
+def test_unsampled_request_raises_on_lookup(serve_run):
+    obs = ObsSession(sample_every=2)
+    serve_run(requests=10, rate=100.0, obs=obs)
+    with pytest.raises(ObservabilityError):
+        obs.reqtrace.get(1)
+
+
+# -- Perfetto flow events ---------------------------------------------------
+
+def test_flow_events_cross_process_groups(traced_cluster):
+    _result, obs = traced_cluster
+    trace = next(t for t in obs.reqtrace.traces() if t.completed)
+    events = to_chrome_trace(obs)["traceEvents"]
+    markers = [e for e in events if e.get("cat") == "reqtrace"
+               and e["ph"] == "X"
+               and e["args"]["trace_id"] == trace.trace_id]
+    flows = [e for e in events if e["ph"] in ("s", "t", "f")
+             and e.get("id") == trace.trace_id]
+    assert len(markers) == len(trace.hops)
+    assert len(flows) == len(trace.hops)
+    # The request's life spans at least two process groups (frontend
+    # pid + one rank pid) — the clickable-across-ranks property.
+    assert len({e["pid"] for e in markers}) >= 2
+    assert flows[0]["ph"] == "s"
+    assert flows[-1]["ph"] == "f" and flows[-1]["bp"] == "e"
+    assert all(e["ph"] == "t" for e in flows[1:-1])
+    # Every flow step is anchored to its marker slice.
+    anchors = {(e["pid"], e["tid"], e["ts"]) for e in markers}
+    for e in flows:
+        assert (e["pid"], e["tid"], e["ts"]) in anchors
+    json.dumps(events)  # everything JSON-serialisable
+
+
+# -- timeline windows -------------------------------------------------------
+
+def _synthetic_session():
+    session = ObsSession()
+    for t in (0.1, 0.4, 1.2, 1.3, 2.2):
+        session.timeline.record_inc("serve.completed", t, 1.0)
+    for t, v in ((0.2, 0.010), (1.1, 0.020), (2.1, 0.040)):
+        session.timeline.record_value("latency", t, v)
+    return session
+
+
+def test_timeline_rows_fold_counters_into_windows():
+    session = _synthetic_session()
+    rows = [r for r in timeline_rows(session, 1.0, end=2.5)
+            if r["metric"] == "serve.completed"]
+    assert [r["count"] for r in rows] == [2.0, 2.0, 1.0]
+    assert [r["truncated"] for r in rows] == [False, False, True]
+    # Final window is clipped to the recording end and its rate uses
+    # the covered width, not the nominal one.
+    assert rows[2]["t1"] == 2.5
+    assert rows[2]["rate"] == pytest.approx(1.0 / 0.5)
+
+
+def test_timeline_rows_histogram_percentiles():
+    session = _synthetic_session()
+    rows = [r for r in timeline_rows(session, 1.0, end=2.5)
+            if r["kind"] == "histogram"]
+    assert [r["count"] for r in rows] == [1.0, 1.0, 1.0]
+    assert rows[0]["p50"] == pytest.approx(0.010)
+    assert rows[2]["p99"] == pytest.approx(0.040)
+
+
+def test_timeline_gauge_window_is_time_weighted():
+    session = ObsSession()
+    gauge = session.metrics.gauge("adm.queue_depth")
+    gauge._monitor.times = [0.0, 1.0]
+    gauge._monitor.values = [0.0, 10.0]
+    row = [r for r in timeline_rows(session, 2.0, end=2.0)
+           if r["metric"] == "adm.queue_depth"][0]
+    assert row["mean"] == pytest.approx(5.0)   # 0 for 1s, 10 for 1s
+    assert row["max"] == 10.0 and row["last"] == 10.0
+
+
+def test_timeline_rejects_nonpositive_width():
+    with pytest.raises(ObservabilityError):
+        timeline_rows(_synthetic_session(), 0.0, end=1.0)
+
+
+def test_render_timeline_marks_truncated_window():
+    text = render_timeline(_synthetic_session(), 1.0, end=2.5)
+    assert "serve.completed [counter]" in text
+    assert " *" in text
+    assert "window truncated at end of recording" in text
+    assert text == render_timeline(_synthetic_session(), 1.0, end=2.5)
+
+
+# -- metrics JSONL round-trip -----------------------------------------------
+
+def test_metrics_jsonl_round_trips_byte_identical(tmp_path, serve_run):
+    obs = ObsSession()
+    serve_run(requests=40, rate=200.0, obs=obs)
+    first = write_metrics_jsonl(obs, tmp_path / "a.jsonl")
+    loaded = load_metrics_jsonl(first)
+    second = write_metrics_jsonl(loaded, tmp_path / "b.jsonl")
+    assert first.read_bytes() == second.read_bytes()
+    # The loaded view answers the same questions as the live one.
+    assert len(loaded.reqtrace) == len(obs.reqtrace)
+    assert loaded.tracer.extent == obs.tracer.extent
+    assert (timeline_rows(loaded, 0.05, end=obs.tracer.extent)
+            == timeline_rows(obs, 0.05, end=obs.tracer.extent))
+    live = next(t for t in obs.reqtrace.traces() if t.completed)
+    assert (render_waterfall(loaded.reqtrace, live.trace_id)
+            == render_waterfall(obs.reqtrace, live.trace_id))
+
+
+def test_load_metrics_jsonl_rejects_bad_files(tmp_path):
+    missing_meta = tmp_path / "bad.jsonl"
+    missing_meta.write_text('{"kind":"counter","name":"x"}\n')
+    with pytest.raises(ObservabilityError):
+        load_metrics_jsonl(missing_meta)
+    bad_version = tmp_path / "ver.jsonl"
+    bad_version.write_text('{"kind":"meta","version":99,"extent":1}\n')
+    with pytest.raises(ObservabilityError):
+        load_metrics_jsonl(bad_version)
+
+
+# -- alerts -----------------------------------------------------------------
+
+def test_burn_rate_fires_only_when_both_windows_burn():
+    policy = BurnRatePolicy(fast_s=0.1, slow_s=0.5)
+    bad = [(0.9 + 0.02 * i, False) for i in range(30)]
+    good = [(0.9 + 0.02 * i, True) for i in range(30)]
+    assert burn_rate_alerts(bad, end=2.0, policy=policy)
+    assert burn_rate_alerts(good, end=2.0, policy=policy) == []
+    assert burn_rate_alerts([], end=2.0, policy=policy) == []
+    # Consecutive firing steps merge into one alert interval.
+    fired = burn_rate_alerts(bad, end=2.0, policy=policy)
+    assert len(fired) == 1
+    assert fired[0].until > fired[0].at
+
+
+def test_burn_rate_policy_validates():
+    with pytest.raises(ObservabilityError):
+        BurnRatePolicy(target=1.0)
+    with pytest.raises(ObservabilityError):
+        BurnRatePolicy(fast_s=0.5, slow_s=0.1)
+    assert default_policy(10.0).fast_s == pytest.approx(0.5)
+    assert default_policy(10.0).slow_s == pytest.approx(2.0)
+
+
+def test_overload_pages_and_baseline_stays_quiet(serve_run):
+    hot_obs = ObsSession()
+    hot = serve_run(requests=300, rate=2000.0, queue_depth=16,
+                    slo_seconds=0.05, obs=hot_obs)
+    hot_alerts = serve_alerts(hot, session=hot_obs)
+    assert any(a.kind == "burn-rate" for a in hot_alerts)
+
+    calm_obs = ObsSession()
+    calm = serve_run(requests=60, rate=50.0, obs=calm_obs)
+    assert serve_alerts(calm, session=calm_obs) == []
+
+
+def test_queue_slope_flags_sustained_growth_only():
+    session = ObsSession()
+    climb = session.metrics.gauge("adm.queue_depth")
+    climb._monitor.times = [float(t) for t in range(6)]
+    climb._monitor.values = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+    flat = session.metrics.gauge("idle.queue_depth")
+    flat._monitor.times = [0.0, 3.0]
+    flat._monitor.values = [1.0, 1.0]
+    alerts = queue_slope_alerts(session, width=1.0, end=6.0)
+    assert [a.metric for a in alerts] == ["adm.queue_depth"]
+    assert alerts[0].kind == "queue-slope"
+
+
+def test_dead_rank_detected_from_metrics_alone(killed_cluster):
+    result, obs = killed_cluster
+    killed = next(s for s in result.shards if s.killed_at is not None)
+    alerts = dead_rank_alerts(obs)
+    assert ([a.metric for a in alerts]
+            == [f"rank{killed.rank}.completed"])
+    # The detector's gap starts at the rank's last completion, which
+    # precedes the kill instant.
+    assert alerts[0].at <= killed.killed_at
+    assert alerts[0].until > killed.killed_at
+
+
+def test_dead_rank_marked_in_utilisation_report(killed_cluster):
+    result, obs = killed_cluster
+    killed = next(s for s in result.shards if s.killed_at is not None)
+    deaths = dead_ranks(obs)
+    assert set(deaths) == {killed.rank}
+    assert deaths[killed.rank] == pytest.approx(0.75, abs=1e-6)
+    report = utilisation_report(obs, result.wall_seconds)
+    assert f"rank{killed.rank} DEAD (killed @" in report
+    assert report == utilisation_report(obs, result.wall_seconds)
+
+
+def test_outcomes_from_traces_matches_request_outcomes(serve_run):
+    obs = ObsSession()
+    result = serve_run(requests=60, rate=400.0, obs=obs)
+    live = request_outcomes(result.requests, result.slo_seconds)
+    offline = outcomes_from_traces(obs.reqtrace, result.slo_seconds)
+    assert len(live) == len(offline)
+    assert (sum(good for _, good in live)
+            == sum(good for _, good in offline))
+
+
+def test_cluster_report_appends_alert_section(killed_cluster):
+    result, obs = killed_cluster
+    alerts = serve_alerts(result, session=obs)
+    plain = render_cluster_report(result)
+    assert "alerts" not in plain
+    report = render_cluster_report(
+        result, alerts=alerts, policy=default_policy(result.wall_seconds))
+    assert report.startswith(plain)
+    assert "[dead-rank]" in report
+
+
+# -- zero-cost contract (satellite: obs off vs on) --------------------------
+
+def test_cluster_run_byte_identical_with_obs_on(chaos_graph):
+    bare = _cluster_run(chaos_graph, requests=60)
+    traced = _cluster_run(chaos_graph, requests=60, obs=ObsSession())
+    assert render_cluster_report(bare) == render_cluster_report(traced)
+
+
+# -- trace-analyze CLI ------------------------------------------------------
+
+def test_trace_analyze_cli_smoke(tmp_path, capsys, serve_run):
+    obs = ObsSession()
+    serve_run(requests=40, rate=200.0, obs=obs)
+    path = write_metrics_jsonl(obs, tmp_path / "metrics.jsonl")
+    assert main(["trace-analyze", str(path), "--window", "25",
+                 "--waterfalls", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline (window 25.0 ms)" in out
+    assert "waterfall" in out
+    assert "alerts" in out
+
+
+def test_trace_analyze_rejects_missing_or_bad_file(tmp_path, capsys):
+    assert main(["trace-analyze", str(tmp_path / "nope.jsonl")]) == 2
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json at all\n")
+    assert main(["trace-analyze", str(bad)]) == 2
+
+
+def test_serve_run_cli_records_trace_and_metrics(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.jsonl"
+    assert main(["serve-run", "--backends", "vpu2", "--requests", "16",
+                 "--rate", "200", "--trace", str(trace),
+                 "--metrics", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "alerts" in out
+    assert "waterfall" in out
+    assert json.loads(trace.read_text())["traceEvents"]
+    loaded = load_metrics_jsonl(metrics)
+    assert len(loaded.reqtrace) > 0
