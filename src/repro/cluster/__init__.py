@@ -10,20 +10,59 @@ whole-host failure injection with re-shard/drain semantics, and a
 :class:`ClusterResult` that rolls per-host
 :class:`~repro.serve.slo.ServeResult` accounting up under the same
 exactly-once invariant.
+
+Capacity is elastic (:mod:`repro.cluster.autoscale`): an
+:class:`Autoscaler` with a reactive or predictive policy — or a
+scripted :class:`ScalePlan` — adds and drains hosts live against the
+ring, with a warm pool for instant scale-out and a zero-loss
+lame-duck drain for scale-in; :func:`cost_point` /
+:func:`render_cost_table` fold runs into the host-hours vs SLO
+frontier.
 """
 
+from repro.cluster.autoscale import (
+    SCALE_IN,
+    SCALE_OUT,
+    Autoscaler,
+    AutoscaleSignal,
+    CostPoint,
+    PredictivePolicy,
+    ReactivePolicy,
+    ScaleAction,
+    ScaleEvent,
+    ScalePlan,
+    cost_point,
+    render_cost_table,
+)
 from repro.cluster.hashring import HashRing
 from repro.cluster.host import HostRank
 from repro.cluster.report import render_cluster_report
 from repro.cluster.result import ClusterResult, HostShard
-from repro.cluster.server import DEFAULT_WINDOW, ClusterServer
+from repro.cluster.server import (
+    DEFAULT_DRAIN_GRACE_S,
+    DEFAULT_WINDOW,
+    ClusterServer,
+)
 
 __all__ = [
+    "Autoscaler",
+    "AutoscaleSignal",
     "ClusterResult",
     "ClusterServer",
+    "CostPoint",
+    "DEFAULT_DRAIN_GRACE_S",
     "DEFAULT_WINDOW",
     "HashRing",
     "HostRank",
     "HostShard",
+    "PredictivePolicy",
+    "ReactivePolicy",
+    "SCALE_IN",
+    "SCALE_OUT",
+    "ScaleAction",
+    "ScaleEvent",
+    "ScalePlan",
+    "cost_point",
+    "render_cost_table",
     "render_cluster_report",
 ]

@@ -96,6 +96,17 @@ class HostRank:
         self.failure: Optional[FailureEvent] = None
         #: Unresolved requests stranded by :meth:`kill` (count).
         self.resharded = 0
+        # -- autoscaling lifecycle (see repro.cluster.autoscale) -------
+        #: Pool slot this generation serves (set by the frontend).
+        self.slot: Optional[int] = None
+        #: Sim time this host joined the ring, or None (fixed runs
+        #: leave it None: active from the serving epoch).
+        self.activated_at: Optional[float] = None
+        #: True while a scale-in drain is in progress (out of the
+        #: ring, still resolving its owned backlog).
+        self.draining = False
+        #: Sim time a scale-in drain completed, or None.
+        self.drained_at: Optional[float] = None
         self._ingest_proc: Optional[Process] = None
         self._batcher_proc: Optional[Event] = None
         self._worker_procs: list[Event] = []

@@ -27,12 +27,13 @@ def render_cluster_report(result: ClusterResult,
     outputs stay byte-identical.
     """
     dead = sum(1 for s in result.shards if s.killed_at is not None)
+    drained = result.drained_hosts
     lines = ["cluster serve report", "=" * 20]
     if workload:
         lines.append(f"  workload        : {workload}")
     lines += [
         f"  hosts           : {result.num_hosts} "
-        f"({result.num_hosts - dead} live at end)",
+        f"({result.num_hosts - dead - drained} live at end)",
         f"  offered         : {result.offered}",
         f"  completed       : {result.completed}",
         f"  shed            : {result.shed}",
@@ -46,6 +47,13 @@ def render_cluster_report(result: ClusterResult,
         f"  sharded/spilled : {result.sharded}/{result.spilled}",
         f"  re-sharded      : {result.resharded}",
     ]
+    if result.scale_events:
+        lines += [
+            f"  host pool       : {result.pool_hosts} slots",
+            f"  host-seconds    : {result.host_seconds:.3f}",
+            f"  scale events    : {result.scale_outs} out / "
+            f"{result.scale_ins} in",
+        ]
     if result.failures:
         lines.append(f"  failures        : "
                      + ", ".join(f"{e.device} ({e.kind}, "
@@ -72,13 +80,24 @@ def render_cluster_report(result: ClusterResult,
                   f"{'completed':>10} {'share':>7} {'fate':>12}"]
     total = max(result.completed, 1)
     for shard in result.shards:
-        fate = ("died @ {:.2f}s".format(shard.killed_at)
-                if shard.killed_at is not None else "survived")
+        if shard.killed_at is not None:
+            fate = "died @ {:.2f}s".format(shard.killed_at)
+        elif shard.drained_at is not None:
+            fate = "drained @ {:.2f}s".format(shard.drained_at)
+        else:
+            fate = "survived"
         share = shard.result.completed / total
         lines.append(
             f"  {shard.name:<8}{shard.rank:>5} "
             f"{shard.result.offered:>8} "
             f"{shard.result.completed:>10} {share:>6.1%} {fate:>12}")
+    if result.scale_events:
+        lines += ["", "  scale timeline"]
+        for event in result.scale_events:
+            lines.append(
+                f"    {event.time:>8.3f}s {event.action:<10} "
+                f"{event.host:<10} -> {event.live_after} live "
+                f"({event.reason})")
     if alerts is not None:
         from repro.obs.alerts import render_alerts
         lines.append("")

@@ -35,13 +35,31 @@ class HostShard:
     """One host's slice of a cluster run."""
 
     rank: int  #: MPI rank (1-based; rank 0 is the frontend)
-    name: str  #: host name (``host0`` ...)
+    name: str  #: host name (``host0``, or ``host0r2`` generation 2)
     result: ServeResult
     #: Simulated time the host was killed, or None if it survived.
     killed_at: Optional[float] = None
     #: Requests this host stranded at death (re-sharded or abandoned
     #: by the frontend).
     resharded: int = 0
+    #: Simulated time the host joined the ring, or None (fixed-size
+    #: runs: serving from the cluster epoch).
+    activated_at: Optional[float] = None
+    #: Simulated time a scale-in drain retired the host, or None.
+    drained_at: Optional[float] = None
+
+    def active_seconds(self, epoch: float, end: float) -> float:
+        """Host-time this shard cost: activation (or the serving
+        epoch) until death, drain, or the end of the run."""
+        start = (self.activated_at if self.activated_at is not None
+                 else epoch)
+        if self.killed_at is not None:
+            stop = self.killed_at
+        elif self.drained_at is not None:
+            stop = self.drained_at
+        else:
+            stop = end
+        return max(0.0, stop - start)
 
 
 @dataclass
@@ -66,6 +84,11 @@ class ClusterResult:
     sharded: int = 0     #: requests pushed to a shard channel (incl. re-shards)
     spilled: int = 0     #: routed off the hash-preferred host (load spill)
     resharded: int = 0   #: re-pushed after their owner host died
+    #: Committed scale actions, in commit order (empty: fixed run).
+    scale_events: list = field(default_factory=list)
+    #: Pool size the frontend could scale across (0: fixed run,
+    #: every shard active throughout).
+    pool_hosts: int = 0
 
     def __post_init__(self) -> None:
         if not self.shards:
@@ -226,6 +249,45 @@ class ClusterResult:
     def degraded(self) -> bool:
         """True when any host/device failed or work was abandoned."""
         return bool(self.failures) or self.abandoned > 0
+
+    # -- elastic-scaling accounting --------------------------------------
+    @property
+    def end_seconds(self) -> float:
+        """Absolute sim time the run ended (epoch + wall)."""
+        return self.prepare_seconds + self.wall_seconds
+
+    @property
+    def host_seconds(self) -> float:
+        """Summed active host time — the run's capacity cost.
+
+        Each shard bills from its activation (ring join) to its
+        death, drain, or the end of the run; a fixed-N run therefore
+        bills exactly ``N * wall_seconds`` for the survivors.  This
+        is the x-axis of the cost-vs-SLO frontier.
+        """
+        epoch = self.prepare_seconds
+        end = self.end_seconds
+        return sum(s.active_seconds(epoch, end) for s in self.shards)
+
+    @property
+    def drained_hosts(self) -> int:
+        """Shards retired by a scale-in drain."""
+        return sum(1 for s in self.shards
+                   if s.drained_at is not None)
+
+    @property
+    def scale_outs(self) -> int:
+        """Committed scale-out actions."""
+        from repro.cluster.autoscale import SCALE_OUT
+        return sum(1 for e in self.scale_events
+                   if e.action == SCALE_OUT)
+
+    @property
+    def scale_ins(self) -> int:
+        """Committed scale-in (drain) actions."""
+        from repro.cluster.autoscale import SCALE_IN
+        return sum(1 for e in self.scale_events
+                   if e.action == SCALE_IN)
 
     def per_host_counts(self) -> dict[str, int]:
         """Completed requests per host (sharding balance check)."""

@@ -127,6 +127,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  serve-sweep  max sustainable arrival rate per config")
     print("  cluster-run  sharded multi-host serving run (MPI sim)")
     print("  cluster-sweep  max sustainable rate per cluster size")
+    print("  autoscale-run  elastic cluster run under a diurnal day")
+    print("  autoscale-sweep  cost-vs-SLO frontier: autoscalers vs "
+          "fixed-N")
     print("  trace-analyze  offline timeline/waterfall/alert report "
           "from a --metrics dump")
     print("  perf-run     wall-clock perf suite (BENCH_PR4.json gate)")
@@ -639,7 +642,8 @@ def _cluster_targets(hosts: int, spec: str):
 
 
 def _cluster_server(args: argparse.Namespace, targets, *,
-                    host_faults=None, obs=None):
+                    host_faults=None, autoscaler=None,
+                    initial_hosts=None, obs=None):
     from repro.cluster import ClusterServer
 
     return ClusterServer(
@@ -655,6 +659,8 @@ def _cluster_server(args: argparse.Namespace, targets, *,
                           if args.deadline is not None else None),
         warmup=args.warmup,
         host_faults=host_faults,
+        autoscaler=autoscaler,
+        initial_hosts=initial_hosts,
         obs=obs)
 
 
@@ -806,6 +812,168 @@ def _cmd_cluster_sweep(args: argparse.Namespace) -> int:
         results.append(sweep)
     print()
     print(render_sweep_table(results))
+    return 0
+
+
+def _host_closed_loop_rate(args: argparse.Namespace):
+    """Closed-loop throughput of one host built from the first
+    ``--host-backends`` token — the capacity unit the autoscale
+    commands size the diurnal day and the predictive policy with."""
+    from repro.ncsw import NCSw, SyntheticSource
+
+    tokens = [t.strip() for t in args.host_backends.split(",")
+              if t.strip()]
+    if not tokens:
+        print("--host-backends: no tokens given")
+        return None
+    single = _cluster_targets(1, tokens[0])
+    if single is None:
+        return None
+    target = single[0]
+    fw = NCSw()
+    fw.add_source("synthetic", SyntheticSource(64))
+    fw.add_target(tokens[0], target)
+    batch = max(1, target.preferred_batch_size)
+    return fw.run("synthetic", tokens[0],
+                  batch_size=batch).throughput()
+
+
+def _autoscale_setup(args: argparse.Namespace):
+    """Shared autoscale-run/-sweep setup: the diurnal day trace plus
+    the per-host capacity estimate.  Returns ``(workload, host_rate)``
+    or None for an invalid spec."""
+    from repro.serve import DiurnalWorkload
+
+    host_rate = _host_closed_loop_rate(args)
+    if host_rate is None:
+        return None
+    peak = (args.peak_rate if args.peak_rate is not None
+            else 2.5 * host_rate)
+    workload = DiurnalWorkload(peak_rate=peak, period_s=args.period,
+                               floor_frac=args.floor, seed=args.seed)
+    return workload, host_rate
+
+
+def _autoscaler_from_args(args: argparse.Namespace, workload,
+                          host_rate: float, kind: str):
+    from repro.cluster import (
+        Autoscaler,
+        PredictivePolicy,
+        ReactivePolicy,
+    )
+
+    if kind == "predictive":
+        policy = PredictivePolicy(workload, host_rate=host_rate,
+                                  lead_s=args.lead / 1000.0,
+                                  utilization=args.utilization)
+    else:
+        policy = ReactivePolicy(high_water=args.high_water,
+                                low_water=args.low_water)
+    max_hosts = args.max_hosts if args.max_hosts is not None \
+        else args.pool
+    return Autoscaler(policy,
+                      min_hosts=args.min_hosts,
+                      max_hosts=max_hosts,
+                      interval_s=args.interval / 1000.0,
+                      cooldown_s=args.cooldown / 1000.0,
+                      warm_pool=args.warm_pool)
+
+
+def _cmd_autoscale_run(args: argparse.Namespace) -> int:
+    """One elastic cluster run over a diurnal day trace.
+
+    A pool of ``--pool`` host slots sits behind the frontend; the
+    chosen policy (reactive by default) scales the live set against
+    the modelled day.  Exits non-zero when any request was lost —
+    elastic scaling must never drop work.
+    """
+    from repro.cluster import render_cluster_report
+
+    if args.smoke:
+        args.requests = min(args.requests, 120)
+        args.pool = min(args.pool, 3)
+    if args.pool < 1:
+        print(f"--pool: need at least 1 slot, got {args.pool}")
+        return 2
+    setup = _autoscale_setup(args)
+    if setup is None:
+        return 2
+    workload, host_rate = setup
+    autoscaler = _autoscaler_from_args(args, workload, host_rate,
+                                       args.policy)
+    targets = _cluster_targets(args.pool, args.host_backends)
+    if targets is None:
+        return 2
+    obs = _obs_from_args(args)
+    result = _cluster_server(args, targets, autoscaler=autoscaler,
+                             obs=obs).run(workload, args.requests)
+    alerts = policy = None
+    if obs is not None:
+        from repro.obs import default_policy, serve_alerts
+
+        alerts = serve_alerts(result, session=obs)
+        policy = default_policy(result.wall_seconds)
+    print(f"policy: {autoscaler.policy.describe()} "
+          f"(~{host_rate:.1f} req/s/host closed loop)")
+    print()
+    print(render_cluster_report(result,
+                                workload=workload.describe(),
+                                alerts=alerts, policy=policy))
+    if obs is not None:
+        print()
+    _serve_trace_extras(obs)
+    _finish_trace(args, obs)
+    lost = result.offered - result.completed
+    if lost:
+        print()
+        print(f"LOST {lost} requests across scale events")
+    return 0 if result.completed > 0 and lost == 0 else 1
+
+
+def _cmd_autoscale_sweep(args: argparse.Namespace) -> int:
+    """The cost-vs-SLO frontier: elastic policies vs fixed-N.
+
+    Runs the same diurnal day trace through every fixed host count
+    (1..pool) and both autoscale policies, then renders host-seconds
+    against SLO attainment — the economics table: how much capacity
+    does tracking the day shape save at equal service quality.
+    """
+    from repro.cluster import cost_point, render_cost_table
+
+    if args.smoke:
+        args.requests = min(args.requests, 120)
+        args.pool = min(args.pool, 3)
+    if args.pool < 1:
+        print(f"--pool: need at least 1 slot, got {args.pool}")
+        return 2
+    setup = _autoscale_setup(args)
+    if setup is None:
+        return 2
+    workload, host_rate = setup
+    print(f"calibrated: ~{host_rate:.1f} req/s/host closed-loop "
+          f"capacity, day peak {workload.peak_rate:.4g} req/s")
+    points = []
+    for n in range(1, args.pool + 1):
+        targets = _cluster_targets(n, args.host_backends)
+        if targets is None:
+            return 2
+        result = _cluster_server(args, targets).run(workload,
+                                                    args.requests)
+        points.append(cost_point(f"fixed-{n}", result))
+        print(f"fixed-{n}: {result.summary()}")
+    for kind in ("reactive", "predictive"):
+        targets = _cluster_targets(args.pool, args.host_backends)
+        if targets is None:
+            return 2
+        autoscaler = _autoscaler_from_args(args, workload, host_rate,
+                                           kind)
+        result = _cluster_server(
+            args, targets,
+            autoscaler=autoscaler).run(workload, args.requests)
+        points.append(cost_point(kind, result))
+        print(f"{kind}: {result.summary()}")
+    print()
+    print(render_cost_table(points, slo_seconds=args.slo / 1000.0))
     return 0
 
 
@@ -1170,6 +1338,76 @@ def build_parser() -> argparse.ArgumentParser:
              "(results identical to --jobs 1)")
     cluster_sweep.set_defaults(requests=200)
 
+    autoscale_common = argparse.ArgumentParser(add_help=False)
+    autoscale_common.add_argument(
+        "--pool", type=int, default=4, metavar="N",
+        help="host slots the frontend may scale across (default 4)")
+    autoscale_common.add_argument(
+        "--peak-rate", type=float, default=None, metavar="RPS",
+        help="diurnal peak arrival rate (default: 2.5x one host's "
+             "closed-loop throughput)")
+    autoscale_common.add_argument(
+        "--period", type=float, default=2.0, metavar="S",
+        help="diurnal period — one traffic day — in seconds "
+             "(default 2)")
+    autoscale_common.add_argument(
+        "--floor", type=float, default=0.1, metavar="FRAC",
+        help="overnight trough as a fraction of peak (default 0.1)")
+    autoscale_common.add_argument(
+        "--min-hosts", type=int, default=1,
+        help="autoscaler floor (default 1)")
+    autoscale_common.add_argument(
+        "--max-hosts", type=int, default=None,
+        help="autoscaler ceiling (default: the pool size)")
+    autoscale_common.add_argument(
+        "--interval", type=float, default=20.0, metavar="MS",
+        help="autoscaler tick interval in ms (default 20)")
+    autoscale_common.add_argument(
+        "--cooldown", type=float, default=50.0, metavar="MS",
+        help="minimum gap between scale actions in ms (default 50)")
+    autoscale_common.add_argument(
+        "--warm-pool", type=int, default=1, metavar="N",
+        help="idle slots kept pre-initialised (default 1)")
+    autoscale_common.add_argument(
+        "--high-water", type=float, default=4.0, metavar="N",
+        help="reactive: per-host outstanding before scale-out "
+             "(default 4)")
+    autoscale_common.add_argument(
+        "--low-water", type=float, default=1.0, metavar="N",
+        help="reactive: per-host outstanding after removal that "
+             "permits scale-in (default 1)")
+    autoscale_common.add_argument(
+        "--lead", type=float, default=100.0, metavar="MS",
+        help="predictive: pre-warm lead time in ms (default 100)")
+    autoscale_common.add_argument(
+        "--utilization", type=float, default=0.7, metavar="FRAC",
+        help="predictive: target per-host utilisation (default 0.7)")
+    autoscale_common.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run (120 requests, pool of 3)")
+
+    autoscale_run = sub.add_parser(
+        "autoscale-run", parents=[cluster_common, autoscale_common],
+        help="one elastic cluster run over a diurnal day trace")
+    autoscale_run.add_argument(
+        "--policy", default="reactive",
+        choices=["reactive", "predictive"],
+        help="scale policy (default reactive)")
+    autoscale_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a Perfetto trace (one process group per rank) "
+             "+ utilisation report")
+    autoscale_run.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="dump the metric/trace events as JSONL for offline "
+             "trace-analyze")
+
+    autoscale_sweep = sub.add_parser(
+        "autoscale-sweep",
+        parents=[cluster_common, autoscale_common],
+        help="cost-vs-SLO frontier: elastic policies vs fixed-N")
+    autoscale_sweep.set_defaults(requests=300)
+
     trace_analyze = sub.add_parser(
         "trace-analyze",
         help="analyze a recorded metrics JSONL dump offline")
@@ -1240,6 +1478,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cluster_run(args)
     if args.command == "cluster-sweep":
         return _cmd_cluster_sweep(args)
+    if args.command == "autoscale-run":
+        return _cmd_autoscale_run(args)
+    if args.command == "autoscale-sweep":
+        return _cmd_autoscale_sweep(args)
     if args.command == "trace-analyze":
         return _cmd_trace_analyze(args)
     if args.command == "perf-run":

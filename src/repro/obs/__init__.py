@@ -59,6 +59,7 @@ from repro.obs.alerts import (
     burn_rate_alerts,
     dead_rank_alerts,
     default_policy,
+    flapping_alerts,
     outcomes_from_traces,
     queue_slope_alerts,
     render_alerts,
@@ -106,6 +107,7 @@ __all__ = [
     "burn_rate_alerts",
     "queue_slope_alerts",
     "dead_rank_alerts",
+    "flapping_alerts",
     "serve_alerts",
     "render_alerts",
     "to_chrome_trace",

@@ -19,7 +19,10 @@ timeline the burn-rate does:
 * **dead-rank gap** — a cluster host whose ``rank<N>.completed``
   events stop while other ranks keep completing (detected from the
   metrics alone, no failure event needed — that is the point of a
-  detector).
+  detector);
+* **flapping** — rapid scale direction reversals from the autoscaler
+  (from the run's scale events, or offline from the
+  ``cluster.live_hosts`` timeline gauge).
 
 Everything is a pure function of recorded data: deterministic,
 byte-identical across same-seed runs, and equally usable online (on
@@ -283,6 +286,66 @@ def dead_rank_alerts(session: Any,
     return alerts
 
 
+def flapping_alerts(source: Any, window_s: float = 1.0,
+                    min_flips: int = 3) -> list[Alert]:
+    """Detect autoscaler flapping: rapid scale direction reversals.
+
+    A *flip* is a scale action whose direction (out vs in) reverses
+    the previous action's; an alert fires when at least *min_flips*
+    flips land inside any *window_s*-wide sliding window — the
+    signature of a policy whose hysteresis band or cooldown is too
+    tight, thrashing hosts in and out of the ring.
+
+    *source* may be a :class:`~repro.cluster.result.ClusterResult`
+    (its ``scale_events``), a plain list of scale events, or an
+    observability session — in that case the direction changes are
+    recovered from the ``cluster.live_hosts`` timeline gauge alone,
+    the detector's offline twin.
+    """
+    if window_s <= 0:
+        raise ObservabilityError(
+            f"window_s must be positive, got {window_s}")
+    if min_flips < 1:
+        raise ObservabilityError(
+            f"min_flips must be >= 1, got {min_flips}")
+    steps: list[tuple[float, int]] = []
+    if hasattr(source, "timeline"):
+        values = list(source.metrics.gauge("cluster.live_hosts").samples)
+        prev = None
+        for t, value in values:
+            if prev is not None and value != prev:
+                steps.append((t, 1 if value > prev else -1))
+            prev = value
+    else:
+        events = getattr(source, "scale_events", source)
+        for event in events:
+            steps.append((event.time,
+                          1 if event.action == "scale-out" else -1))
+    flips = [t for (t, sign), (_, prev_sign)
+             in zip(steps[1:], steps) if sign != prev_sign]
+    alerts: list[Alert] = []
+    i = 0
+    for j in range(len(flips)):
+        while flips[j] - flips[i] > window_s:
+            i += 1
+        if j - i + 1 < min_flips:
+            continue
+        if alerts and flips[i] <= alerts[-1].until:
+            prev_alert = alerts[-1]
+            prev_alert.until = flips[j]
+            prev_alert.detail = (
+                f"{j - i + 1} scale direction reversals within "
+                f"{window_s:g}s (hysteresis/cooldown too tight)")
+        else:
+            alerts.append(Alert(
+                kind="flapping", at=flips[i], until=flips[j],
+                metric="cluster.live_hosts",
+                detail=(f"{j - i + 1} scale direction reversals "
+                        f"within {window_s:g}s (hysteresis/cooldown "
+                        "too tight)")))
+    return alerts
+
+
 def serve_alerts(result: Any, session: Optional[Any] = None,
                  policy: Optional[BurnRatePolicy] = None,
                  window: Optional[float] = None) -> list[Alert]:
@@ -304,6 +367,8 @@ def serve_alerts(result: Any, session: Optional[Any] = None,
         requests = result.requests
     outcomes = request_outcomes(requests, result.slo_seconds)
     alerts = burn_rate_alerts(outcomes, end, policy)
+    if getattr(result, "scale_events", None):
+        alerts += flapping_alerts(result)
     if session is not None:
         width = window if window is not None else policy.fast_s
         alerts += queue_slope_alerts(session, width, end=end)

@@ -245,4 +245,39 @@ def test_cluster_sweep_smoke(capsys):
     out = capsys.readouterr().out
     assert "load sweep" in out
     assert "hosts=1" in out and "hosts=2" in out
+
+
+def test_list_mentions_autoscale_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "autoscale-run" in out and "autoscale-sweep" in out
+
+
+def test_autoscale_run_smoke_is_deterministic(capsys):
+    args = ["autoscale-run", "--smoke"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "policy: reactive" in out
+    assert "scale timeline" in out
+    assert "host-seconds" in out
+    assert "abandoned       : 0 (0 at the frontend)" in out
+    # Byte-identical on a re-run: the determinism contract.
+    assert main(args) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_autoscale_run_predictive_smoke(capsys):
+    assert main(["autoscale-run", "--smoke",
+                 "--policy", "predictive"]) == 0
+    out = capsys.readouterr().out
+    assert "policy: predictive" in out
+    assert "scale timeline" in out
+
+
+def test_autoscale_sweep_smoke_renders_frontier(capsys):
+    assert main(["autoscale-sweep", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "cost vs SLO frontier" in out
+    assert "fixed-1" in out
+    assert "reactive" in out and "predictive" in out
     assert "closed-loop capacity" in out

@@ -110,6 +110,37 @@ def test_diurnal_arrivals_track_the_ramp():
     assert peak > 3 * trough
 
 
+def test_diurnal_phase_is_the_shared_day_model():
+    # diurnal_phase(t) is the single source of truth for "where in
+    # the day are we": the arrival generator thins against it and the
+    # predictive autoscaler provisions from it.  Pin its shape so the
+    # two can never drift apart.
+    wl = DiurnalWorkload(100.0, period_s=10.0, floor_frac=0.1)
+    assert wl.diurnal_phase(0.0) == pytest.approx(0.1)    # trough
+    assert wl.diurnal_phase(5.0) == pytest.approx(1.0)    # peak
+    assert wl.diurnal_phase(2.5) == pytest.approx(0.55)   # mid-ramp
+    # Periodic: the modelled day repeats exactly.
+    for t in (0.3, 2.5, 7.9):
+        assert wl.diurnal_phase(t + 10.0) == \
+            pytest.approx(wl.diurnal_phase(t))
+    # Bounded within [floor_frac, 1] everywhere.
+    phases = [wl.diurnal_phase(t / 10) for t in range(200)]
+    assert min(phases) >= 0.1 and max(phases) <= 1.0
+    # rate_at is exactly peak * phase — same floats, not approx.
+    for t in (0.0, 1.7, 5.0, 8.25):
+        assert wl.rate_at(t) == 100.0 * wl.diurnal_phase(t)
+
+
+def test_diurnal_arrivals_pinned():
+    # Regression pin: refactoring rate_at() onto diurnal_phase() must
+    # not move a single arrival — the thinning loop still divides by
+    # peak_rate, so these exact floats are the determinism contract.
+    wl = DiurnalWorkload(100.0, period_s=10.0, floor_frac=0.1, seed=3)
+    assert wl.arrival_times(5) == [
+        0.5872664704763035, 0.6285456419484563, 0.6503575071430396,
+        0.6600187289391491, 0.7475024826867502]
+
+
 # -- trace replay -----------------------------------------------------------
 
 def test_trace_validation():
