@@ -109,3 +109,7 @@ class FrameworkError(ReproError):
 
 class ObservabilityError(ReproError):
     """Misuse of the tracing/metrics layer (repro.obs)."""
+
+
+class FlowError(ReproError):
+    """Workflow compilation or execution errors (repro.flow)."""

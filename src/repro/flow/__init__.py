@@ -1,0 +1,54 @@
+"""repro.flow: a workflow DAG engine for multi-model vision pipelines.
+
+Every earlier scenario is "one image → one network forward"; real
+vision traffic is detect→crop→classify→aggregate *chains*.  This
+package adds the missing pipeline abstraction in three layers:
+
+* :mod:`repro.flow.steps` — typed step definitions: model inference,
+  1→1 transforms, crop/fan-out, conditional branches, join barriers;
+* :mod:`repro.flow.compiler` — validates a :class:`WorkflowSpec` and
+  compiles it into an execution DAG with parallelisable step groups
+  and fan-out/join pairing;
+* :mod:`repro.flow.engine` — a :class:`FlowCoordinator` that walks the
+  compiled graph, running every model stage through its own serving
+  stack (admission queue + dynamic batcher + router) so each stage
+  batches independently at its backend's preferred batch size.
+
+Per-stage :class:`~repro.serve.slo.ServeResult`s roll up into a
+:class:`WorkflowResult` under an exactly-once invariant (fan-out
+accounted: spawned = joined + abandoned), and built-in workflows
+(cascade, ensemble vote, confidence-gated escalation) live in
+:mod:`repro.flow.library`.
+"""
+
+from repro.flow.compiler import (CompiledWorkflow, WorkflowSpec,
+                                 compile_workflow)
+from repro.flow.engine import FlowCoordinator
+from repro.flow.library import WORKFLOWS, build_workflow
+from repro.flow.report import render_workflow_report
+from repro.flow.result import (FanOutAccount, StageResult,
+                               WorkflowRequest, WorkflowResult)
+from repro.flow.steps import (ANY, BranchStep, FanOutStep, InferStep,
+                              Item, JoinStep, Step, TransformStep)
+
+__all__ = [
+    "ANY",
+    "BranchStep",
+    "CompiledWorkflow",
+    "FanOutAccount",
+    "FanOutStep",
+    "FlowCoordinator",
+    "InferStep",
+    "Item",
+    "JoinStep",
+    "StageResult",
+    "Step",
+    "TransformStep",
+    "WORKFLOWS",
+    "WorkflowRequest",
+    "WorkflowResult",
+    "WorkflowSpec",
+    "build_workflow",
+    "compile_workflow",
+    "render_workflow_report",
+]

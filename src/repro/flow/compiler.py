@@ -1,0 +1,298 @@
+"""Workflow compiler: spec → validated execution DAG.
+
+A :class:`WorkflowSpec` is declarative — add steps, connect edges —
+and :func:`compile_workflow` turns it into a :class:`CompiledWorkflow`
+after proving the graph is executable:
+
+* unique step names, edges between known steps, no duplicate edges;
+* exactly one entry (no predecessors) and an acyclic graph with every
+  step reachable from the entry;
+* per-edge payload-type compatibility (``produces`` vs ``consumes``);
+* out-degree rules per step kind: infer/transform/join feed at most
+  one successor, an expand fan-out exactly one, a broadcast fan-out
+  and a branch at least two;
+* fan-out/join pairing: every path out of a fan-out reaches the same
+  join before hitting another fan-out or a sink, and every join is
+  the barrier of exactly one fan-out.
+
+The compiled graph carries the topological ``order`` the engine walks
+and ``groups`` — the parallelisable step levels (all steps in a group
+have no mutual dependencies, so their stages overlap freely on the
+simulated clock).  Compilation is deterministic: same spec, same
+compiled graph, byte for byte in ``describe()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple, Union
+
+from repro.errors import FlowError
+from repro.flow.steps import BranchStep, FanOutStep, InferStep, JoinStep, Step
+from repro.flow.steps import compatible as _compatible
+
+
+class WorkflowSpec:
+    """Declarative workflow description: steps + edges."""
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise FlowError(
+                f"workflow needs a non-empty name, got {name!r}")
+        self.name = name
+        self._steps: Dict[str, Step] = {}
+        self._edges: list[tuple[str, str]] = []
+
+    def add(self, *steps: Step) -> "WorkflowSpec":
+        """Register steps (chainable)."""
+        for step in steps:
+            if not isinstance(step, Step):
+                raise FlowError(
+                    f"workflow {self.name!r}: add() takes Step "
+                    f"instances, got {step!r}")
+            if step.name in self._steps:
+                raise FlowError(
+                    f"workflow {self.name!r}: duplicate step "
+                    f"{step.name!r}")
+            self._steps[step.name] = step
+        return self
+
+    def connect(self, src: Union[str, Step],
+                dst: Union[str, Step]) -> "WorkflowSpec":
+        """Add the edge src → dst (chainable; steps or names)."""
+        a = src.name if isinstance(src, Step) else src
+        b = dst.name if isinstance(dst, Step) else dst
+        for end in (a, b):
+            if end not in self._steps:
+                raise FlowError(
+                    f"workflow {self.name!r}: edge endpoint {end!r} "
+                    "is not a registered step")
+        if (a, b) in self._edges:
+            raise FlowError(
+                f"workflow {self.name!r}: duplicate edge {a!r} -> "
+                f"{b!r}")
+        if a == b:
+            raise FlowError(
+                f"workflow {self.name!r}: self-edge on {a!r}")
+        self._edges.append((a, b))
+        return self
+
+    @property
+    def steps(self) -> Dict[str, Step]:
+        """Registered steps in insertion order."""
+        return dict(self._steps)
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        """Declared edges in insertion order."""
+        return list(self._edges)
+
+
+@dataclass(frozen=True)
+class CompiledWorkflow:
+    """An executable workflow DAG (output of :func:`compile_workflow`)."""
+
+    name: str
+    steps: Dict[str, Step]
+    #: Deterministic topological order of step names.
+    order: Tuple[str, ...]
+    #: Parallelisable step groups: level k holds every step whose
+    #: longest path from the entry has k edges — no step depends on a
+    #: same-group peer, so their stages overlap freely.
+    groups: Tuple[Tuple[str, ...], ...]
+    succs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    preds: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    entry: str = ""
+    sinks: Tuple[str, ...] = ()
+    #: Fan-out step name → the join step closing its region.
+    join_of: Dict[str, str] = field(default_factory=dict)
+
+    def infer_steps(self) -> list[InferStep]:
+        """The model stages, in topological order."""
+        return [s for n in self.order
+                if isinstance((s := self.steps[n]), InferStep)]
+
+    def describe(self) -> str:
+        """Deterministic multi-line rendering of the compiled graph."""
+        lines = [f"workflow {self.name}: {len(self.steps)} steps, "
+                 f"{len(self.groups)} groups, entry {self.entry}"]
+        for level, group in enumerate(self.groups):
+            parts = [self.steps[n].describe() for n in group]
+            lines.append(f"  group {level}: " + ", ".join(parts))
+        for src in self.order:
+            for dst in self.succs[src]:
+                mark = ""
+                if src in self.join_of and self.join_of[src] == dst:
+                    mark = "  (barrier)"
+                lines.append(f"    {src} -> {dst}{mark}")
+        for fanout, join in self.join_of.items():
+            lines.append(f"  fan-out region: {fanout} .. {join}")
+        return "\n".join(lines)
+
+
+def _check_out_degree(step: Step, succs: Tuple[str, ...],
+                      name: str) -> None:
+    n = len(succs)
+    if isinstance(step, FanOutStep):
+        if step.mode == "expand" and n != 1:
+            raise FlowError(
+                f"workflow {name!r}: expand fan-out {step.name!r} "
+                f"needs exactly one successor, has {n}")
+        if step.mode == "broadcast" and n < 2:
+            raise FlowError(
+                f"workflow {name!r}: broadcast fan-out {step.name!r} "
+                f"needs >= 2 successors, has {n}")
+    elif isinstance(step, BranchStep):
+        if n < 2:
+            raise FlowError(
+                f"workflow {name!r}: branch {step.name!r} needs >= 2 "
+                f"successors, has {n}")
+    elif n > 1:
+        raise FlowError(
+            f"workflow {name!r}: {step.kind} step {step.name!r} may "
+            f"feed at most one successor, has {n}")
+
+
+def _pair_fanouts(name: str, steps: Dict[str, Step],
+                  succs: Dict[str, Tuple[str, ...]]) -> Dict[str, str]:
+    """Resolve each fan-out's join barrier, rejecting bad regions.
+
+    A DFS from each fan-out follows every path until the first join.
+    All paths must agree on that join; meeting another fan-out first
+    means an (unsupported) nested region, and running off the graph's
+    edge means sub-items would escape to a sink with no barrier to
+    account for them.
+    """
+    join_of: Dict[str, str] = {}
+    for fo_name, step in steps.items():
+        if not isinstance(step, FanOutStep):
+            continue
+        found: set[str] = set()
+        stack = list(succs[fo_name])
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            candidate = steps[node]
+            if isinstance(candidate, JoinStep):
+                found.add(node)
+                continue  # region closed on this path
+            if isinstance(candidate, FanOutStep):
+                raise FlowError(
+                    f"workflow {name!r}: fan-out {node!r} nested "
+                    f"inside the region of {fo_name!r} before its "
+                    "join (nested fan-out is not supported)")
+            if not succs[node]:
+                raise FlowError(
+                    f"workflow {name!r}: path from fan-out "
+                    f"{fo_name!r} reaches sink {node!r} without a "
+                    "join barrier")
+            stack.extend(succs[node])
+        if len(found) != 1:
+            raise FlowError(
+                f"workflow {name!r}: fan-out {fo_name!r} must close "
+                f"on exactly one join, found {sorted(found)}")
+        join_of[fo_name] = found.pop()
+    claimed: Dict[str, str] = {}
+    for fo_name, join in join_of.items():
+        if join in claimed:
+            raise FlowError(
+                f"workflow {name!r}: join {join!r} closes both "
+                f"{claimed[join]!r} and {fo_name!r}; each join "
+                "pairs with exactly one fan-out")
+        claimed[join] = fo_name
+    for jn, step in steps.items():
+        if isinstance(step, JoinStep) and jn not in join_of.values():
+            raise FlowError(
+                f"workflow {name!r}: join {jn!r} is not the barrier "
+                "of any fan-out")
+    return join_of
+
+
+def compile_workflow(spec: WorkflowSpec) -> CompiledWorkflow:
+    """Validate *spec* and build its execution DAG."""
+    steps = spec.steps
+    if not steps:
+        raise FlowError(f"workflow {spec.name!r} has no steps")
+    succs: Dict[str, list[str]] = {n: [] for n in steps}
+    preds: Dict[str, list[str]] = {n: [] for n in steps}
+    for a, b in spec.edges:
+        succs[a].append(b)
+        preds[b].append(a)
+
+    entries = [n for n in steps if not preds[n]]
+    if len(entries) != 1:
+        raise FlowError(
+            f"workflow {spec.name!r} needs exactly one entry step "
+            f"(no predecessors), found {entries}")
+    entry = entries[0]
+    if isinstance(steps[entry], JoinStep):
+        raise FlowError(
+            f"workflow {spec.name!r}: entry {entry!r} cannot be a "
+            "join")
+
+    # Kahn's algorithm over insertion order: deterministic topo sort,
+    # and the leftover set names the cycle's members.
+    indeg = {n: len(preds[n]) for n in steps}
+    ready = [n for n in steps if indeg[n] == 0]
+    order: list[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for succ in succs[node]:
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(steps):
+        cyclic = sorted(n for n in steps if n not in order)
+        raise FlowError(
+            f"workflow {spec.name!r} has a cycle through {cyclic}")
+
+    reachable = {entry}
+    frontier = [entry]
+    while frontier:
+        node = frontier.pop()
+        for succ in succs[node]:
+            if succ not in reachable:
+                reachable.add(succ)
+                frontier.append(succ)
+    unreachable = sorted(n for n in steps if n not in reachable)
+    if unreachable:
+        raise FlowError(
+            f"workflow {spec.name!r}: steps {unreachable} are not "
+            f"reachable from the entry {entry!r}")
+
+    for a, b in spec.edges:
+        if not _compatible(steps[a], steps[b]):
+            raise FlowError(
+                f"workflow {spec.name!r}: edge {a!r} -> {b!r} is "
+                f"type-incompatible ({steps[a].produces!r} does not "
+                f"satisfy {steps[b].consumes!r})")
+    for n, step in steps.items():
+        _check_out_degree(step, tuple(succs[n]), spec.name)
+
+    succs_t = {n: tuple(s) for n, s in succs.items()}
+    join_of = _pair_fanouts(spec.name, steps, succs_t)
+
+    # Parallelisable groups: longest-path level from the entry.
+    level = {n: 0 for n in steps}
+    for node in order:
+        for succ in succs[node]:
+            level[succ] = max(level[succ], level[node] + 1)
+    groups: list[list[str]] = [[] for _ in range(max(level.values()) + 1)]
+    for node in order:
+        groups[level[node]].append(node)
+
+    return CompiledWorkflow(
+        name=spec.name,
+        steps=steps,
+        order=tuple(order),
+        groups=tuple(tuple(g) for g in groups),
+        succs=succs_t,
+        preds={n: tuple(p) for n, p in preds.items()},
+        entry=entry,
+        sinks=tuple(n for n in order if not succs[n]),
+        join_of=join_of,
+    )

@@ -1,0 +1,292 @@
+"""Typed workflow steps: the vocabulary of multi-model pipelines.
+
+A workflow is declared from five step kinds, each with a declared
+payload type (``consumes``/``produces``) so the compiler can reject
+mis-wired graphs before anything runs:
+
+* :class:`InferStep` — a model stage served through its own admission
+  queue + dynamic batcher + router, batching independently at its
+  backend's ``preferred_batch_size``;
+* :class:`TransformStep` — a pure 1→1 payload function with an
+  optional fixed simulated cost;
+* :class:`FanOutStep` — one item becomes K sub-items (*expand* mode:
+  a function returns the sub-items, e.g. cropping detections) or one
+  copy per successor (*broadcast* mode, e.g. an ensemble), always
+  paired with a downstream :class:`JoinStep` barrier;
+* :class:`BranchStep` — routes each item to exactly one of ≥2
+  successors (conditional escalation);
+* :class:`JoinStep` — the barrier closing a fan-out region: reduces
+  the surviving sub-items (sorted by spawn index) back into one item.
+
+Payloads travel as immutable :class:`Item`s.  Every user hook that
+needs randomness (decode, fan-out, transform) receives a seeded
+``numpy`` generator derived from (run seed, step name, item lineage),
+so workflow runs replay byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import FlowError
+from repro.ncsw.targets import TargetDevice
+
+#: Wildcard payload type: compatible with every declared type.
+ANY = "any"
+
+
+@dataclass(frozen=True)
+class Item:
+    """One unit of work flowing through the graph.
+
+    ``data`` is the step-to-step payload (detections, a crop box, a
+    label vote...); ``tensor`` is the optional image tensor handed to
+    model stages.  Items are immutable — steps emit new ones.
+    """
+
+    data: Any = None
+    tensor: Optional[np.ndarray] = field(repr=False, default=None)
+
+
+def _check_type_token(kind: str, name: str, token: str,
+                      what: str) -> str:
+    if not isinstance(token, str) or not token:
+        raise FlowError(
+            f"{kind} step {name!r}: {what} must be a non-empty "
+            f"string, got {token!r}")
+    return token
+
+
+class Step:
+    """Base class: a named node with declared payload types."""
+
+    kind = "step"
+
+    def __init__(self, name: str,
+                 consumes: tuple[str, ...] = (ANY,),
+                 produces: str = ANY) -> None:
+        if not isinstance(name, str) or not name:
+            raise FlowError(
+                f"{self.kind} step needs a non-empty name, got "
+                f"{name!r}")
+        if any(c.isspace() for c in name) or "+" in name:
+            raise FlowError(
+                f"step name {name!r} may not contain whitespace or "
+                "'+' (reserved for fan-out interval labels)")
+        if isinstance(consumes, str):
+            consumes = (consumes,)
+        consumed = tuple(consumes)
+        if not consumed:
+            raise FlowError(
+                f"{self.kind} step {name!r} must consume at least "
+                "one payload type")
+        for token in consumed:
+            _check_type_token(self.kind, name, token, "consumes")
+        self.name = name
+        self.consumes = consumed
+        self.produces = _check_type_token(self.kind, name, produces,
+                                          "produces")
+
+    def describe(self) -> str:
+        """One-line description for compiled-graph listings."""
+        return f"{self.name} [{self.kind}]"
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"consumes={self.consumes!r}, "
+                f"produces={self.produces!r})")
+
+
+class InferStep(Step):
+    """A model stage served through its own serve stack.
+
+    ``targets`` is a zero-argument factory returning named
+    :class:`~repro.ncsw.targets.TargetDevice` instances — a factory,
+    not instances, because devices are stateful and each run needs a
+    fresh set.  ``decode`` turns the backend's
+    :class:`~repro.ncsw.results.InferenceRecord` into the item's new
+    payload: ``decode(record, item, rng) -> data``.  The record's
+    prediction fields may be ``None`` in timing-only mode, so decode
+    hooks fall back to draws from the seeded ``rng``.
+
+    The stage's batcher caps windows at ``max_batch_size`` when given;
+    when ``None`` (the default) it asks the stage's own router for the
+    next backend's ``preferred_batch_size`` — a VPU stage batches at
+    its stick count while a CPU/GPU stage batches at 16, each
+    independently.  ``queue_depth``/``max_wait_s`` default to the
+    coordinator's settings; ``slo_seconds`` is this stage's own
+    latency objective inside the workflow SLO roll-up.
+    """
+
+    kind = "infer"
+
+    def __init__(self, name: str,
+                 targets: Callable[[], Dict[str, TargetDevice]], *,
+                 decode: Optional[Callable[..., Any]] = None,
+                 consumes: tuple[str, ...] = (ANY,),
+                 produces: str = ANY,
+                 slo_seconds: Optional[float] = None,
+                 queue_depth: Optional[int] = None,
+                 max_batch_size: Optional[int] = None,
+                 max_wait_s: Optional[float] = None) -> None:
+        super().__init__(name, consumes, produces)
+        if not callable(targets):
+            raise FlowError(
+                f"infer step {name!r}: targets must be a zero-arg "
+                "factory returning named TargetDevice instances")
+        if decode is not None and not callable(decode):
+            raise FlowError(f"infer step {name!r}: decode must be "
+                            "callable")
+        if slo_seconds is not None and slo_seconds <= 0:
+            raise FlowError(
+                f"infer step {name!r}: slo_seconds must be positive, "
+                f"got {slo_seconds}")
+        if queue_depth is not None and queue_depth < 1:
+            raise FlowError(
+                f"infer step {name!r}: queue_depth must be >= 1, got "
+                f"{queue_depth}")
+        if max_batch_size is not None and max_batch_size < 1:
+            raise FlowError(
+                f"infer step {name!r}: max_batch_size must be >= 1, "
+                f"got {max_batch_size}")
+        if max_wait_s is not None and max_wait_s < 0:
+            raise FlowError(
+                f"infer step {name!r}: max_wait_s must be >= 0, got "
+                f"{max_wait_s}")
+        self.targets = targets
+        self.decode = decode
+        self.slo_seconds = slo_seconds
+        self.queue_depth = queue_depth
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+
+    def make_targets(self) -> Dict[str, TargetDevice]:
+        """Instantiate a fresh, validated target set for one run."""
+        targets = self.targets()
+        if (not isinstance(targets, dict) or not targets
+                or not all(isinstance(t, TargetDevice)
+                           for t in targets.values())):
+            raise FlowError(
+                f"infer step {self.name!r}: targets factory must "
+                "return a non-empty dict of name -> TargetDevice, "
+                f"got {targets!r}")
+        return targets
+
+
+class TransformStep(Step):
+    """A pure 1→1 payload function: ``fn(data, rng) -> data``.
+
+    ``cost_s`` models host-side work (image decode, NMS...) as a fixed
+    simulated delay; zero-cost transforms run at an instant.
+    """
+
+    kind = "transform"
+
+    def __init__(self, name: str, fn: Callable[..., Any], *,
+                 consumes: tuple[str, ...] = (ANY,),
+                 produces: str = ANY,
+                 cost_s: float = 0.0) -> None:
+        super().__init__(name, consumes, produces)
+        if not callable(fn):
+            raise FlowError(f"transform step {name!r}: fn must be "
+                            "callable")
+        if cost_s < 0:
+            raise FlowError(
+                f"transform step {name!r}: cost_s must be >= 0, got "
+                f"{cost_s}")
+        self.fn = fn
+        self.cost_s = float(cost_s)
+
+
+class FanOutStep(Step):
+    """One item becomes K sub-items behind a join barrier.
+
+    *Expand* mode (``fn`` given): ``fn(item, rng) -> list[Item]``
+    produces the sub-items — e.g. cropping each detection into a
+    classify sub-request — and the step must have exactly one
+    successor.  *Broadcast* mode (``fn`` omitted): each of the step's
+    ≥2 successors receives a copy of the item (ensemble voting).
+
+    Every path out of a fan-out must reach the same downstream
+    :class:`JoinStep` (the compiler enforces the pairing); the join
+    barrier accounts every spawned sub-item as joined or abandoned.
+    """
+
+    kind = "fan-out"
+
+    def __init__(self, name: str,
+                 fn: Optional[Callable[..., list[Item]]] = None, *,
+                 consumes: tuple[str, ...] = (ANY,),
+                 produces: str = ANY) -> None:
+        super().__init__(name, consumes, produces)
+        if fn is not None and not callable(fn):
+            raise FlowError(f"fan-out step {name!r}: fn must be "
+                            "callable or None")
+        self.fn = fn
+
+    @property
+    def mode(self) -> str:
+        """``expand`` (fn spawns sub-items) or ``broadcast``."""
+        return "expand" if self.fn is not None else "broadcast"
+
+    def describe(self) -> str:
+        return f"{self.name} [fan-out/{self.mode}]"
+
+
+class BranchStep(Step):
+    """Routes each item to exactly one of ≥2 successors.
+
+    ``route(data) -> str`` names the successor; the engine checks the
+    choice against the compiled edge set at runtime.  The item passes
+    through unchanged (``produces`` defaults to the wildcard so the
+    declared types of the successors govern compatibility).
+    """
+
+    kind = "branch"
+
+    def __init__(self, name: str, route: Callable[[Any], str], *,
+                 consumes: tuple[str, ...] = (ANY,),
+                 produces: str = ANY) -> None:
+        super().__init__(name, consumes, produces)
+        if not callable(route):
+            raise FlowError(f"branch step {name!r}: route must be "
+                            "callable")
+        self.route = route
+
+
+class JoinStep(Step):
+    """The barrier closing a fan-out region.
+
+    Waits until every sub-item spawned by the paired fan-out has
+    either arrived or been abandoned, then reduces the survivors —
+    ``reduce(datas) -> data`` over payloads sorted by spawn index —
+    back into the original item's continuation.  ``reduce`` must
+    accept an empty list (an expand fan-out may legitimately spawn
+    zero sub-items).  ``cost_s`` models aggregation work.
+    """
+
+    kind = "join"
+
+    def __init__(self, name: str, reduce: Callable[[list], Any], *,
+                 consumes: tuple[str, ...] = (ANY,),
+                 produces: str = ANY,
+                 cost_s: float = 0.0) -> None:
+        super().__init__(name, consumes, produces)
+        if not callable(reduce):
+            raise FlowError(f"join step {name!r}: reduce must be "
+                            "callable")
+        if cost_s < 0:
+            raise FlowError(
+                f"join step {name!r}: cost_s must be >= 0, got "
+                f"{cost_s}")
+        self.reduce = reduce
+        self.cost_s = float(cost_s)
+
+
+def compatible(src: Step, dst: Step) -> bool:
+    """Whether *src*'s produced payload satisfies *dst*'s input."""
+    return (src.produces == ANY or ANY in dst.consumes
+            or src.produces in dst.consumes)

@@ -130,6 +130,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  autoscale-run  elastic cluster run under a diurnal day")
     print("  autoscale-sweep  cost-vs-SLO frontier: autoscalers vs "
           "fixed-N")
+    print("  workflow-run  multi-model workflow DAG run (cascade / "
+          "ensemble / escalate)")
+    print("  workflow-sweep  cascade vs monolithic classify at "
+          "matched rates")
     print("  trace-analyze  offline timeline/waterfall/alert report "
           "from a --metrics dump")
     print("  perf-run     wall-clock perf suite (BENCH_PR4.json gate)")
@@ -596,6 +600,123 @@ def _cmd_serve_sweep(args: argparse.Namespace) -> int:
         results.append(sweep)
     print()
     print(render_sweep_table(results))
+    return 0
+
+
+def _flow_coordinator(args: argparse.Namespace, wf, obs=None):
+    """A FlowCoordinator wired from the workflow-* CLI flags."""
+    from repro.flow import FlowCoordinator
+
+    return FlowCoordinator(
+        wf,
+        seed=args.seed,
+        queue_depth=args.queue_depth,
+        admission=args.admission,
+        max_wait_s=args.max_wait / 1000.0,
+        slo_seconds=args.slo / 1000.0,
+        deadline_seconds=(args.deadline / 1000.0
+                          if args.deadline is not None else None),
+        warmup=args.warmup,
+        obs=obs)
+
+
+def _cmd_workflow_run(args: argparse.Namespace) -> int:
+    """One open-loop run of a built-in workflow DAG.
+
+    Prints the compiled graph (groups, edges, fan-out regions), then
+    the workflow report: per-stage serving tables, fan-out accounting
+    and the workflow-level SLO roll-up.  Exits non-zero when nothing
+    completes.
+    """
+    from repro.errors import FlowError
+    from repro.flow import build_workflow, render_workflow_report
+    from repro.serve import PoissonWorkload
+
+    if args.smoke:
+        args.requests = min(args.requests, 40)
+        args.rate = min(args.rate, 80.0)
+        args.devices = min(args.devices, 2)
+
+    kwargs = {"vpu_devices": args.devices}
+    if args.workflow == "cascade" and args.stage_slo is not None:
+        kwargs["stage_slo_seconds"] = args.stage_slo / 1000.0
+    try:
+        wf = build_workflow(args.workflow, args.scale, **kwargs)
+    except FlowError as exc:
+        print(f"workflow-run: {exc}")
+        return 2
+    print(wf.describe())
+    print()
+
+    obs = _obs_from_args(args)
+    workload = PoissonWorkload(rate=args.rate, seed=args.seed)
+    result = _flow_coordinator(args, wf, obs=obs).run(
+        workload, args.requests)
+    print(render_workflow_report(result,
+                                 workload=workload.describe()))
+    if obs is not None:
+        print()
+    _serve_trace_extras(obs)
+    _finish_trace(args, obs)
+    return 0 if result.completed > 0 else 1
+
+
+def _cmd_workflow_sweep(args: argparse.Namespace) -> int:
+    """Cascade vs monolithic classify at matched offered rates.
+
+    At each rate the same Poisson arrival process drives both the
+    detect→crop→classify cascade and a single monolithic classify
+    stage, so the table isolates what the extra pipeline stages cost
+    (fan-out multiplies backend load; the join stretches the tail).
+    """
+    from repro.flow import build_workflow
+    from repro.serve import PoissonWorkload
+
+    if args.smoke:
+        args.requests = min(args.requests, 30)
+        if args.rates is None:
+            args.rates = "20,40"
+        args.devices = min(args.devices, 2)
+    if args.rates is None:
+        args.rates = "20,40,80"
+    try:
+        rates = [float(t) for t in args.rates.split(",") if t.strip()]
+    except ValueError:
+        print(f"--rates: bad rate list {args.rates!r}")
+        return 2
+    if not rates:
+        print("--rates: no rates given")
+        return 2
+
+    print(f"== cascade vs monolithic (scale {args.scale}, "
+          f"{args.requests} workflows per point, SLO "
+          f"{args.slo:.0f} ms) ==")
+    print(f"{'rate wf/s':>9}  {'workflow':<12} {'done':>9} "
+          f"{'sub-req':>7} {'p50 ms':>9} {'p99 ms':>9} "
+          f"{'SLO att':>8} {'goodput':>8}")
+    worst_loss = 0.0
+    for rate in rates:
+        for name in ("cascade", "monolithic"):
+            wf = build_workflow(name, args.scale,
+                                vpu_devices=args.devices)
+            result = _flow_coordinator(args, wf).run(
+                PoissonWorkload(rate=rate, seed=args.seed),
+                args.requests)
+            worst_loss = max(worst_loss, result.loss_rate)
+            done = f"{result.completed}/{result.offered}"
+            try:
+                p50 = f"{result.p50 * 1000:9.3f}"
+                p99 = f"{result.p99 * 1000:9.3f}"
+            except ValueError:
+                p50 = f"{'-':>9}"
+                p99 = f"{'-':>9}"
+            print(f"{rate:>9.1f}  {name:<12} {done:>9} "
+                  f"{result.sub_requests_spawned:>7} {p50} {p99} "
+                  f"{result.slo_attainment:>7.1%} "
+                  f"{result.goodput:>8.2f}")
+    print()
+    print(f"worst-case workflow loss across the sweep: "
+          f"{worst_loss:.1%}")
     return 0
 
 
@@ -1408,6 +1529,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="cost-vs-SLO frontier: elastic policies vs fixed-N")
     autoscale_sweep.set_defaults(requests=300)
 
+    flow_common = argparse.ArgumentParser(add_help=False)
+    flow_common.add_argument(
+        "--scale", default="micro", choices=["micro", "mini"],
+        help="workflow model scale (default micro)")
+    flow_common.add_argument(
+        "--devices", type=int, default=4,
+        help="NCS sticks behind each VPU stage (default 4)")
+    flow_common.add_argument(
+        "--requests", type=int, default=120,
+        help="workflow requests per run (default 120)")
+    flow_common.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (same seed -> byte-identical run)")
+    flow_common.add_argument(
+        "--slo", type=float, default=800.0, metavar="MS",
+        help="workflow p99 end-to-end objective in ms (default 800: "
+             "a cascade holds two serving stages plus a join)")
+    flow_common.add_argument(
+        "--deadline", type=float, default=None, metavar="MS",
+        help="per-workflow deadline in ms, shared by every stage the "
+             "request touches (default: none)")
+    flow_common.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="per-stage admission queue bound (default 64)")
+    flow_common.add_argument(
+        "--admission", default="reject-newest",
+        choices=["block", "shed-oldest", "reject-newest"],
+        help="per-stage overload policy")
+    flow_common.add_argument(
+        "--max-wait", type=float, default=2.0, metavar="MS",
+        help="per-stage dynamic batcher window in ms (default 2)")
+    flow_common.add_argument(
+        "--warmup", type=int, default=0,
+        help="leading completed workflows excluded from latency "
+             "stats")
+    flow_common.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run (40 workflows, 2 sticks)")
+
+    workflow_run = sub.add_parser(
+        "workflow-run", parents=[flow_common],
+        help="one multi-model workflow DAG run (cascade / ensemble / "
+             "escalate) with per-stage + workflow SLO report")
+    workflow_run.add_argument(
+        "--workflow", default="cascade",
+        choices=["cascade", "ensemble", "escalate", "monolithic"],
+        help="built-in workflow to run (default cascade)")
+    workflow_run.add_argument(
+        "--rate", type=float, default=40.0,
+        help="Poisson arrival rate in workflows/s (default 40)")
+    workflow_run.add_argument(
+        "--stage-slo", type=float, default=None, metavar="MS",
+        help="per-stage SLO in ms for the cascade's model stages "
+             "(default: none)")
+    workflow_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a Perfetto trace + utilisation report (the "
+             "waterfall spans every stage of the cascade)")
+    workflow_run.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="dump the metric/trace events as JSONL for offline "
+             "trace-analyze")
+
+    workflow_sweep = sub.add_parser(
+        "workflow-sweep", parents=[flow_common],
+        help="cascade vs monolithic classify at matched offered "
+             "rates")
+    workflow_sweep.add_argument(
+        "--rates", default=None, metavar="LIST",
+        help="comma list of offered rates in workflows/s "
+             "(default 20,40,80; 20,40 with --smoke)")
+    workflow_sweep.set_defaults(requests=80)
+
     trace_analyze = sub.add_parser(
         "trace-analyze",
         help="analyze a recorded metrics JSONL dump offline")
@@ -1482,6 +1676,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_autoscale_run(args)
     if args.command == "autoscale-sweep":
         return _cmd_autoscale_sweep(args)
+    if args.command == "workflow-run":
+        return _cmd_workflow_run(args)
+    if args.command == "workflow-sweep":
+        return _cmd_workflow_sweep(args)
     if args.command == "trace-analyze":
         return _cmd_trace_analyze(args)
     if args.command == "perf-run":

@@ -17,6 +17,7 @@ from repro.errors import GraphError
 from repro.nn.alexnet import AlexNetConfig, build_alexnet
 from repro.nn.googlenet import GoogLeNetConfig, build_googlenet
 from repro.nn.graph import Network
+from repro.nn.tinydet import TinyDetConfig, build_tinydet
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,20 @@ _ZOO: dict[str, ModelEntry] = {
         "alexnet-mini",
         AlexNetConfig(num_classes=50, input_size=79, width=0.25),
         "AlexNet topology at 79px / quarter width / 50 classes"),
+    "tinydet": ModelEntry(
+        "tinydet",
+        TinyDetConfig(input_size=64, num_boxes=4, width=1.0),
+        build_tinydet,
+        "Synthetic single-shot detection head (64px, 4 candidate "
+        "boxes); the detector class for multi-model workflows",
+        feature_blob="pool2", classifier_layer="det_head"),
+    "tinydet-micro": ModelEntry(
+        "tinydet-micro",
+        TinyDetConfig(input_size=32, num_boxes=3, width=0.5),
+        build_tinydet,
+        "Smallest detector variant (32px, 3 boxes), used by the test "
+        "suite and --smoke workflows",
+        feature_blob="pool2", classifier_layer="det_head"),
 }
 
 

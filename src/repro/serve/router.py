@@ -155,11 +155,11 @@ class Backend:
                 records = yield self.target.process_batch(items)
                 if obs is not None:
                     obs.tracer.end(span)
-                done_ids = {r.index for r in records}
+                by_id = {r.index: r for r in records}
                 completed = [r for r in batch
-                             if r.request_id in done_ids]
+                             if r.request_id in by_id]
                 missing = [r for r in batch
-                           if r.request_id not in done_ids]
+                           if r.request_id not in by_id]
                 now = self.env.now
                 if completed:
                     per_request = (now - t0) / len(batch)
@@ -172,6 +172,7 @@ class Backend:
                 for req in completed:
                     req.completed_at = now
                     req.status = COMPLETED
+                    req.record = by_id[req.request_id]
                     if obs is not None:
                         obs.reqtrace.hop(req.trace, "completed",
                                          track=self.track)

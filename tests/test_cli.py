@@ -281,3 +281,57 @@ def test_autoscale_sweep_smoke_renders_frontier(capsys):
     assert "fixed-1" in out
     assert "reactive" in out and "predictive" in out
     assert "closed-loop capacity" in out
+
+
+def test_list_mentions_workflow_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "workflow-run" in out and "workflow-sweep" in out
+
+
+def test_workflow_run_smoke_is_deterministic(capsys):
+    args = ["workflow-run", "--smoke"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "workflow cascade-micro" in out
+    assert "fan-out region: crop .. aggregate" in out
+    assert "== workflow report: cascade-micro ==" in out
+    assert "spawned" in out and "abandoned" in out
+    # Byte-identical on a re-run: the determinism contract.
+    assert main(args) == 0
+    assert capsys.readouterr().out == out
+
+
+def test_workflow_run_escalate_smoke(capsys):
+    assert main(["workflow-run", "--workflow", "escalate",
+                 "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "classify-fp16" in out and "classify-fp32" in out
+    assert "gate [branch]" in out
+
+
+def test_workflow_run_trace_appends_only(tmp_path, capsys):
+    # Observability must not change the report: the obs run's output
+    # starts with the obs-off run's bytes, then appends obs extras.
+    args = ["workflow-run", "--smoke", "--workflow", "ensemble"]
+    assert main(args) == 0
+    plain = capsys.readouterr().out
+    trace = tmp_path / "wf.json"
+    assert main(args + ["--trace", str(trace)]) == 0
+    traced = capsys.readouterr().out
+    assert traced.startswith(plain.rstrip("\n"))
+    assert "utilisation" in traced or "util" in traced
+    assert trace.exists()
+
+
+def test_workflow_sweep_smoke_renders_table(capsys):
+    assert main(["workflow-sweep", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "cascade vs monolithic" in out
+    assert "monolithic" in out
+    assert "worst-case workflow loss" in out
+
+
+def test_workflow_run_rejects_bad_scale(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["workflow-run", "--scale", "huge"])

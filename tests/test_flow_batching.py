@@ -1,0 +1,98 @@
+"""Per-stage batching tests: each stage batches at its own backend.
+
+The point of running every model stage through its own admission
+queue + dynamic batcher + router is that a VPU detect stage and a CPU
+classify stage batch independently — the VPU stage at its stick count,
+the host stage at the host's preferred 16 — inside one workflow.
+These tests pin the batcher caps the coordinator actually wired, via
+the stage stacks it retains after a run.
+"""
+
+import pytest
+
+from repro.flow import (
+    FlowCoordinator,
+    InferStep,
+    WorkflowSpec,
+    build_workflow,
+    compile_workflow,
+)
+from repro.ncsw import IntelCPU, IntelVPU
+from repro.nn import get_model
+from repro.serve import PoissonWorkload
+from repro.vpu import compile_graph
+
+
+@pytest.fixture(scope="module")
+def detect_graph():
+    return compile_graph(get_model("tinydet-micro"))
+
+
+def _run(wf, requests=8, rate=100.0):
+    coord = FlowCoordinator(wf, seed=0)
+    coord.run(PoissonWorkload(rate=rate, seed=0), requests)
+    return coord
+
+
+def test_cascade_stages_batch_at_their_own_backends():
+    wf = build_workflow("cascade", "micro", vpu_devices=3)
+    coord = _run(wf)
+    # VPU detect stage: cap = stick count; CPU classify stage: the
+    # host target's preferred 16.  Same workflow, different caps.
+    assert coord.stages["detect"].batcher._batch_cap() == 3
+    assert coord.stages["classify"].batcher._batch_cap() == 16
+
+
+def test_vpu_stage_cap_tracks_stick_count():
+    for devices in (1, 4):
+        wf = build_workflow("monolithic", "micro",
+                            vpu_devices=devices)
+        coord = _run(wf)
+        assert coord.stages["classify"].batcher._batch_cap() \
+            == devices
+
+
+def test_explicit_step_cap_overrides_backend_preference(detect_graph):
+    spec = WorkflowSpec("capped")
+    spec.add(InferStep(
+        "detect",
+        targets=lambda: {"vpu": IntelVPU(graph=detect_graph,
+                                         num_devices=4,
+                                         functional=False)},
+        max_batch_size=2))
+    coord = _run(compile_workflow(spec))
+    assert coord.stages["detect"].batcher._batch_cap() == 2
+
+
+def test_ensemble_members_keep_their_own_caps():
+    wf = build_workflow("ensemble", "micro", vpu_devices=2)
+    coord = _run(wf)
+    assert coord.stages["classify-vpu"].batcher._batch_cap() == 2
+    assert coord.stages["classify-cpu"].batcher._batch_cap() == 16
+
+
+def test_cpu_stage_actually_forms_multi_request_batches():
+    # Overloaded cascade: the classify stage should coalesce fan-out
+    # sub-requests into real multi-item batches, not serve them 1:1.
+    wf = build_workflow("cascade", "micro", vpu_devices=2)
+    coord = FlowCoordinator(wf, seed=0)
+    result = coord.run(PoissonWorkload(rate=2000.0, seed=0), 40)
+    classify = result.stage("classify").result
+    sizes = [r.batch_size for r in classify.completed_requests()
+             if r.batch_size is not None]
+    assert sizes and max(sizes) > 1
+
+
+def test_per_stage_queues_are_isolated():
+    wf = build_workflow("cascade", "micro", vpu_devices=2)
+    coord = _run(wf)
+    names = {stage.queue.name for stage in coord.stages.values()}
+    assert names == {"flow.detect", "flow.classify"}
+
+
+def test_stage_batch_caps_are_independent_of_each_other():
+    # A tight cap on one stage must not leak into its peer.
+    wf = build_workflow("cascade", "micro", vpu_devices=1)
+    coord = _run(wf)
+    assert coord.stages["detect"].batcher._batch_cap() == 1
+    assert coord.stages["classify"].batcher._batch_cap() == 16

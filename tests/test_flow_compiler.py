@@ -1,0 +1,253 @@
+"""Workflow compiler tests: spec validation and DAG construction.
+
+The compiler's promise is that anything it returns is executable:
+one entry, acyclic, reachable, type-compatible edges, legal
+out-degrees and airtight fan-out/join pairing.  Every rejection path
+is pinned here with the step graph that triggers it, plus the
+deterministic ``describe()`` contract the CLI prints.
+"""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import (
+    ANY,
+    BranchStep,
+    FanOutStep,
+    InferStep,
+    JoinStep,
+    TransformStep,
+    WorkflowSpec,
+    compile_workflow,
+)
+from repro.ncsw import IntelCPU
+from repro.nn import get_model
+
+
+def _cpu_targets():
+    network = get_model("alexnet-mini")
+    return lambda: {"cpu": IntelCPU(network, functional=False)}
+
+
+def _infer(name, **kwargs):
+    return InferStep(name, targets=_cpu_targets(), **kwargs)
+
+
+def _passthrough(name, **kwargs):
+    return TransformStep(name, fn=lambda data, rng: data, **kwargs)
+
+
+# -- step validation --------------------------------------------------------
+
+def test_step_rejects_bad_names():
+    for bad in ("", "two words", "a+b", None):
+        with pytest.raises(FlowError):
+            _passthrough(bad)
+
+
+def test_infer_step_requires_target_factory():
+    with pytest.raises(FlowError):
+        InferStep("model", targets=None)
+
+
+def test_branch_requires_route():
+    with pytest.raises(FlowError):
+        BranchStep("gate", route=None)
+
+
+def test_join_requires_reduce():
+    with pytest.raises(FlowError):
+        JoinStep("merge", reduce=None)
+
+
+def test_fan_out_modes():
+    assert FanOutStep("crop", fn=lambda item, rng: []).mode == "expand"
+    assert FanOutStep("replicate").mode == "broadcast"
+
+
+# -- spec validation --------------------------------------------------------
+
+def test_spec_rejects_duplicate_steps():
+    spec = WorkflowSpec("wf").add(_passthrough("a"))
+    with pytest.raises(FlowError):
+        spec.add(_passthrough("a"))
+
+
+def test_spec_rejects_unknown_edge_endpoints():
+    spec = WorkflowSpec("wf").add(_passthrough("a"))
+    with pytest.raises(FlowError):
+        spec.connect("a", "ghost")
+
+
+def test_spec_rejects_duplicate_and_self_edges():
+    spec = WorkflowSpec("wf").add(_passthrough("a"), _passthrough("b"))
+    spec.connect("a", "b")
+    with pytest.raises(FlowError):
+        spec.connect("a", "b")
+    with pytest.raises(FlowError):
+        spec.connect("a", "a")
+
+
+def test_empty_workflow_rejected():
+    with pytest.raises(FlowError):
+        compile_workflow(WorkflowSpec("empty"))
+
+
+# -- graph-shape validation -------------------------------------------------
+
+def test_two_entries_rejected():
+    spec = WorkflowSpec("wf").add(_passthrough("a"), _passthrough("b"))
+    with pytest.raises(FlowError, match="exactly one entry"):
+        compile_workflow(spec)
+
+
+def test_cycle_rejected_and_names_members():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("a"), _passthrough("b"), _passthrough("c"))
+    spec.connect("a", "b").connect("b", "c").connect("c", "b")
+    with pytest.raises(FlowError, match="cycle"):
+        compile_workflow(spec)
+
+
+def test_type_incompatible_edge_rejected():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("a", produces="boxes"),
+        _passthrough("b", consumes=("labels",)))
+    spec.connect("a", "b")
+    with pytest.raises(FlowError, match="type-incompatible"):
+        compile_workflow(spec)
+
+
+def test_any_type_satisfies_everything():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("a", produces=ANY),
+        _passthrough("b", consumes=("labels",)))
+    spec.connect("a", "b")
+    assert compile_workflow(spec).order == ("a", "b")
+
+
+def test_linear_chain_out_degree_enforced():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("a"), _passthrough("b"), _passthrough("c"))
+    spec.connect("a", "b").connect("a", "c")
+    with pytest.raises(FlowError, match="at most one successor"):
+        compile_workflow(spec)
+
+
+def test_branch_needs_two_successors():
+    spec = WorkflowSpec("wf").add(
+        BranchStep("gate", route=lambda data: "only"),
+        _passthrough("only"))
+    spec.connect("gate", "only")
+    with pytest.raises(FlowError, match=">= 2"):
+        compile_workflow(spec)
+
+
+def test_expand_fan_out_needs_exactly_one_successor():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("src"),
+        FanOutStep("crop", fn=lambda item, rng: []),
+        _passthrough("a"), _passthrough("b"),
+        JoinStep("merge", reduce=lambda datas: datas))
+    spec.connect("src", "crop").connect("crop", "a")
+    spec.connect("crop", "b").connect("a", "merge")
+    spec.connect("b", "merge")
+    with pytest.raises(FlowError, match="exactly one successor"):
+        compile_workflow(spec)
+
+
+# -- fan-out / join pairing -------------------------------------------------
+
+def _fan_spec():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("src"),
+        FanOutStep("crop", fn=lambda item, rng: []),
+        _passthrough("work"),
+        JoinStep("merge", reduce=lambda datas: datas))
+    spec.connect("src", "crop").connect("crop", "work")
+    spec.connect("work", "merge")
+    return spec
+
+
+def test_fan_out_pairs_with_its_join():
+    wf = compile_workflow(_fan_spec())
+    assert wf.join_of == {"crop": "merge"}
+
+
+def test_fan_out_without_join_rejected():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("src"),
+        FanOutStep("crop", fn=lambda item, rng: []),
+        _passthrough("work"))
+    spec.connect("src", "crop").connect("crop", "work")
+    with pytest.raises(FlowError, match="without a\n?.*join"):
+        compile_workflow(spec)
+
+
+def test_nested_fan_out_rejected():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("src"),
+        FanOutStep("outer", fn=lambda item, rng: []),
+        FanOutStep("inner", fn=lambda item, rng: []),
+        _passthrough("work"),
+        JoinStep("merge", reduce=lambda datas: datas))
+    spec.connect("src", "outer").connect("outer", "inner")
+    spec.connect("inner", "work").connect("work", "merge")
+    with pytest.raises(FlowError, match="nested"):
+        compile_workflow(spec)
+
+
+def test_unclaimed_join_rejected():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("src"),
+        JoinStep("merge", reduce=lambda datas: datas))
+    spec.connect("src", "merge")
+    with pytest.raises(FlowError, match="not the barrier"):
+        compile_workflow(spec)
+
+
+def test_join_cannot_be_the_entry():
+    spec = WorkflowSpec("wf").add(
+        JoinStep("merge", reduce=lambda datas: datas))
+    with pytest.raises(FlowError, match="cannot be a"):
+        compile_workflow(spec)
+
+
+# -- groups and describe ----------------------------------------------------
+
+def test_groups_are_longest_path_levels():
+    spec = WorkflowSpec("wf").add(
+        FanOutStep("replicate"),
+        _passthrough("left", consumes=(ANY,)),
+        _passthrough("right", consumes=(ANY,)),
+        JoinStep("merge", reduce=lambda datas: datas))
+    spec.connect("replicate", "left").connect("replicate", "right")
+    spec.connect("left", "merge").connect("right", "merge")
+    wf = compile_workflow(spec)
+    assert wf.groups == (("replicate",), ("left", "right"), ("merge",))
+    assert wf.entry == "replicate"
+    assert wf.sinks == ("merge",)
+
+
+def test_compilation_is_deterministic():
+    a = compile_workflow(_fan_spec()).describe()
+    b = compile_workflow(_fan_spec()).describe()
+    assert a == b
+    assert "fan-out region: crop .. merge" in a
+
+
+def test_describe_marks_direct_barrier_edges():
+    spec = WorkflowSpec("wf").add(
+        _passthrough("src"),
+        FanOutStep("crop", fn=lambda item, rng: []),
+        JoinStep("merge", reduce=lambda datas: datas))
+    spec.connect("src", "crop").connect("crop", "merge")
+    assert "(barrier)" in compile_workflow(spec).describe()
+
+
+def test_infer_steps_in_topological_order():
+    spec = WorkflowSpec("wf").add(
+        _infer("first"), _passthrough("mid"), _infer("second"))
+    spec.connect("first", "mid").connect("mid", "second")
+    wf = compile_workflow(spec)
+    assert [s.name for s in wf.infer_steps()] == ["first", "second"]

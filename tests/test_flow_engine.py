@@ -1,0 +1,200 @@
+"""Workflow engine tests: cascades end-to-end through the serve stack.
+
+The acceptance properties pinned here: a detect→crop→classify→join
+cascade runs whole workflows through real per-stage serving stacks;
+every fan-out is exactly-once accounted (``spawned = joined +
+abandoned``) and the :class:`WorkflowResult` constructor rejects any
+ledger that is not; per-stage intervals tile a completed workflow's
+journey without gaps; seeded runs replay byte-identically; branches
+route both ways; and overload resolves workflows into terminal states
+without losing a single sub-request.
+"""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import (
+    FanOutAccount,
+    FlowCoordinator,
+    WorkflowRequest,
+    WorkflowResult,
+    build_workflow,
+    render_workflow_report,
+)
+from repro.serve import PoissonWorkload
+from repro.serve.workload import ABANDONED, COMPLETED
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _run(workflow_name, *, requests=30, rate=200.0, seed=0,
+         devices=2, **kwargs):
+    wf = build_workflow(workflow_name, "micro", vpu_devices=devices)
+    coord = FlowCoordinator(wf, seed=seed, **kwargs)
+    result = coord.run(PoissonWorkload(rate=rate, seed=seed),
+                       requests)
+    return coord, result
+
+
+def _assert_accounted(result):
+    assert (result.completed + result.shed + result.rejected
+            + result.timed_out + result.abandoned) == result.offered
+    for acct in result.fan_out:
+        assert acct.spawned == acct.joined + acct.abandoned
+
+
+# -- validation -------------------------------------------------------------
+
+def test_coordinator_needs_a_compiled_workflow():
+    with pytest.raises(FlowError):
+        FlowCoordinator("cascade")
+
+
+def test_coordinator_validation():
+    wf = build_workflow("cascade", "micro", vpu_devices=1)
+    with pytest.raises(FlowError):
+        FlowCoordinator(wf, admission="fifo")
+    with pytest.raises(FlowError):
+        FlowCoordinator(wf, slo_seconds=0.0)
+    with pytest.raises(FlowError):
+        FlowCoordinator(wf, deadline_seconds=-1.0)
+    with pytest.raises(FlowError):
+        FlowCoordinator(wf, warmup=-1)
+    with pytest.raises(FlowError):
+        FlowCoordinator(wf).run(PoissonWorkload(10.0), 0)
+
+
+# -- the cascade, end to end ------------------------------------------------
+
+def test_cascade_completes_and_accounts_everything():
+    _, result = _run("cascade", requests=30, rate=100.0)
+    _assert_accounted(result)
+    assert result.completed == result.offered == 30
+    assert [s.name for s in result.stages] == ["detect", "classify"]
+    # Fan-out multiplied the classify load: the ledger says by how
+    # much, and the classify stage served exactly that many.
+    (acct,) = result.fan_out
+    assert acct.step == "crop" and acct.join == "aggregate"
+    assert acct.spawned > 0 and acct.abandoned == 0
+    assert result.stage("classify").result.offered == acct.spawned
+    assert result.stage("detect").result.offered == 30
+
+
+def test_cascade_outputs_carry_the_join_verdict():
+    _, result = _run("cascade", requests=12, rate=100.0)
+    for req in result.completed_requests():
+        assert set(req.output) == {"labels", "top"}
+        if req.output["labels"]:
+            assert req.output["top"] in req.output["labels"]
+
+
+def test_stage_intervals_tile_arrival_to_completion():
+    _, result = _run("cascade", requests=20, rate=150.0)
+    for req in result.completed_requests():
+        assert req.stage_intervals, "completed with no intervals"
+        assert req.stage_intervals[0][1] == req.arrival_time
+        for (_, _, t1), (_, t0, _) in zip(req.stage_intervals,
+                                          req.stage_intervals[1:]):
+            assert t1 == t0  # no gap, no overlap
+        assert req.stage_intervals[-1][2] == req.completed_at
+        # The fan-out region collapses to one labelled interval.
+        names = [name for name, _, _ in req.stage_intervals]
+        assert "crop+aggregate" in names
+
+
+def test_seeded_run_is_byte_identical():
+    reports = []
+    for _ in range(2):
+        _, result = _run("cascade", requests=25, rate=300.0, seed=7,
+                         slo_seconds=0.5)
+        reports.append(render_workflow_report(result,
+                                              workload="poisson"))
+    assert reports[0] == reports[1]
+
+
+def test_different_seeds_change_the_run():
+    _, a = _run("cascade", requests=25, rate=300.0, seed=0)
+    _, b = _run("cascade", requests=25, rate=300.0, seed=1)
+    assert a.wall_seconds != b.wall_seconds
+
+
+# -- branches and ensembles -------------------------------------------------
+
+def test_escalation_routes_both_ways():
+    _, result = _run("escalate", requests=40, rate=100.0)
+    _assert_accounted(result)
+    assert result.completed == 40
+    fp16 = result.stage("classify-fp16").result
+    fp32 = result.stage("classify-fp32").result
+    assert fp16.offered == 40
+    # The 0.8 gate over U(0.5, 1) confidences escalates some but not
+    # all: both branch arms must have been taken.
+    assert 0 < fp32.offered < 40
+
+
+def test_ensemble_votes_over_both_members():
+    _, result = _run("ensemble", requests=20, rate=100.0)
+    _assert_accounted(result)
+    assert result.completed == 20
+    (acct,) = result.fan_out
+    assert acct.spawned == 40  # broadcast: one sub-item per member
+    for req in result.completed_requests():
+        assert set(req.output) == {"label", "agreed"}
+
+
+# -- overload ---------------------------------------------------------------
+
+def test_overload_resolves_every_workflow():
+    _, result = _run("cascade", requests=120, rate=3000.0,
+                     queue_depth=2, deadline_seconds=0.004)
+    _assert_accounted(result)
+    assert result.completed < result.offered  # pressure really bit
+    lost = (result.shed + result.rejected + result.timed_out
+            + result.abandoned)
+    assert lost > 0
+    (acct,) = result.fan_out
+    assert acct.spawned == acct.joined + acct.abandoned
+
+
+def test_warmup_trims_latency_stats_only():
+    _, full = _run("cascade", requests=20, rate=100.0, seed=3)
+    _, trimmed = _run("cascade", requests=20, rate=100.0, seed=3,
+                      warmup=5)
+    assert trimmed.completed == full.completed
+    assert len(trimmed.e2e_latencies()) == \
+        len(full.e2e_latencies()) - 5
+
+
+# -- the result constructor is the last line of defence ---------------------
+
+def _request(rid, status=COMPLETED):
+    req = WorkflowRequest(request_id=rid, arrival_time=0.0)
+    req.status = status
+    if status == COMPLETED:
+        req.completed_at = 0.1
+    return req
+
+
+def test_result_rejects_broken_workflow_accounting():
+    with pytest.raises(FlowError, match="accounting broken"):
+        WorkflowResult(workflow="wf", offered=3, completed=1, shed=0,
+                       rejected=0, timed_out=0, abandoned=1,
+                       wall_seconds=1.0)
+
+
+def test_result_crosschecks_per_request_statuses():
+    reqs = [_request(0), _request(1, ABANDONED)]
+    with pytest.raises(FlowError, match="tally"):
+        WorkflowResult(workflow="wf", offered=2, completed=2, shed=0,
+                       rejected=0, timed_out=0, abandoned=0,
+                       wall_seconds=1.0, requests=reqs)
+
+
+def test_result_rejects_leaky_fan_out_ledger():
+    acct = FanOutAccount(step="crop", join="merge", spawned=5,
+                         joined=3, abandoned=1)
+    with pytest.raises(FlowError, match="fan-out accounting"):
+        WorkflowResult(workflow="wf", offered=1, completed=1, shed=0,
+                       rejected=0, timed_out=0, abandoned=0,
+                       wall_seconds=1.0, requests=[_request(0)],
+                       fan_out=[acct])
