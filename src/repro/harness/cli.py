@@ -136,7 +136,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
           "matched rates")
     print("  trace-analyze  offline timeline/waterfall/alert report "
           "from a --metrics dump")
-    print("  perf-run     wall-clock perf suite (BENCH_PR4.json gate)")
+    print("  perf-run     wall-clock perf suite (BENCH_PR9.json gate)")
     return 0
 
 
@@ -312,7 +312,7 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     graph = paper_timing_graph()
 
     def make_run(plan=None, timeout=None, obs=None):
-        fw = NCSw(obs=obs)
+        fw = NCSw(obs=obs, scheduler=args.scheduler)
         fw.add_source("synthetic", SyntheticSource(args.images))
         fw.add_target("vpu", IntelVPU(
             graph=graph, num_devices=args.devices, functional=False,
@@ -468,6 +468,7 @@ def _serve_server(args: argparse.Namespace, targets, obs=None):
         deadline_seconds=(args.deadline / 1000.0
                           if args.deadline is not None else None),
         warmup=args.warmup,
+        scheduler=getattr(args, "scheduler", None),
         obs=obs)
     for name, target in targets.items():
         server.add_target(name, target)
@@ -782,6 +783,7 @@ def _cluster_server(args: argparse.Namespace, targets, *,
         host_faults=host_faults,
         autoscaler=autoscaler,
         initial_hosts=initial_hosts,
+        scheduler=getattr(args, "scheduler", None),
         obs=obs)
 
 
@@ -955,24 +957,42 @@ def _host_closed_loop_rate(args: argparse.Namespace):
     fw.add_source("synthetic", SyntheticSource(64))
     fw.add_target(tokens[0], target)
     batch = max(1, target.preferred_batch_size)
-    return fw.run("synthetic", tokens[0],
+    rate = fw.run("synthetic", tokens[0],
                   batch_size=batch).throughput()
+    return rate, batch
 
 
 def _autoscale_setup(args: argparse.Namespace):
     """Shared autoscale-run/-sweep setup: the diurnal day trace plus
-    the per-host capacity estimate.  Returns ``(workload, host_rate)``
-    or None for an invalid spec."""
+    the per-host capacity estimate.  Returns ``(workload, host_rate,
+    floor_s)`` — the last is the per-request service-latency floor
+    (one calibration batch) the fluid model attributes to every
+    completion — or None for an invalid spec."""
     from repro.serve import DiurnalWorkload
 
-    host_rate = _host_closed_loop_rate(args)
-    if host_rate is None:
+    calibrated = _host_closed_loop_rate(args)
+    if calibrated is None:
         return None
+    host_rate, batch = calibrated
     peak = (args.peak_rate if args.peak_rate is not None
             else 2.5 * host_rate)
     workload = DiurnalWorkload(peak_rate=peak, period_s=args.period,
                                floor_frac=args.floor, seed=args.seed)
-    return workload, host_rate
+    return workload, host_rate, batch / host_rate
+
+
+def _fluid_cluster(args: argparse.Namespace, workload,
+                   host_rate: float, floor_s: float, *,
+                   pool: int, autoscaler=None):
+    """Build the hybrid fluid model mirroring the DES campaign args."""
+    from repro.sim.fluid import FluidCluster
+
+    return FluidCluster(
+        workload, host_rate=host_rate, pool=pool,
+        autoscaler=autoscaler,
+        slo_seconds=args.slo / 1000.0,
+        service_floor_s=floor_s,
+        seed=args.seed)
 
 
 def _autoscaler_from_args(args: argparse.Namespace, workload,
@@ -1019,7 +1039,10 @@ def _cmd_autoscale_run(args: argparse.Namespace) -> int:
     setup = _autoscale_setup(args)
     if setup is None:
         return 2
-    workload, host_rate = setup
+    workload, host_rate, floor_s = setup
+    if args.fluid or args.fluid_gate:
+        return _autoscale_run_fluid(args, workload, host_rate,
+                                    floor_s)
     autoscaler = _autoscaler_from_args(args, workload, host_rate,
                                        args.policy)
     targets = _cluster_targets(args.pool, args.host_backends)
@@ -1051,6 +1074,42 @@ def _cmd_autoscale_run(args: argparse.Namespace) -> int:
     return 0 if result.completed > 0 and lost == 0 else 1
 
 
+def _autoscale_run_fluid(args: argparse.Namespace, workload,
+                         host_rate: float, floor_s: float) -> int:
+    """Hybrid fluid run of the elastic day (``--fluid``).
+
+    ``--fluid-gate`` additionally runs the pure-DES cluster on the
+    same configuration and asserts fluid/DES agreement; the command
+    exits non-zero when the equivalence gate fails.
+    """
+    from repro.sim.fluid import equivalence_gate
+
+    autoscaler = _autoscaler_from_args(args, workload, host_rate,
+                                       args.policy)
+    fluid = _fluid_cluster(args, workload, host_rate, floor_s,
+                           pool=args.pool,
+                           autoscaler=autoscaler).run(args.requests)
+    print(f"policy: {autoscaler.policy.describe()} "
+          f"(~{host_rate:.1f} req/s/host closed loop)")
+    print(f"fluid: {fluid.summary()}")
+    print(f"scale events: {len(fluid.scale_events)}")
+    if not args.fluid_gate:
+        return 0
+    targets = _cluster_targets(args.pool, args.host_backends)
+    if targets is None:
+        return 2
+    des_autoscaler = _autoscaler_from_args(args, workload, host_rate,
+                                           args.policy)
+    result = _cluster_server(
+        args, targets,
+        autoscaler=des_autoscaler).run(workload, args.requests)
+    print(f"des:   {result.summary()}")
+    print()
+    report = equivalence_gate(fluid, result)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_autoscale_sweep(args: argparse.Namespace) -> int:
     """The cost-vs-SLO frontier: elastic policies vs fixed-N.
 
@@ -1070,27 +1129,38 @@ def _cmd_autoscale_sweep(args: argparse.Namespace) -> int:
     setup = _autoscale_setup(args)
     if setup is None:
         return 2
-    workload, host_rate = setup
+    workload, host_rate, floor_s = setup
     print(f"calibrated: ~{host_rate:.1f} req/s/host closed-loop "
           f"capacity, day peak {workload.peak_rate:.4g} req/s")
+    fluid = args.fluid
     points = []
     for n in range(1, args.pool + 1):
-        targets = _cluster_targets(n, args.host_backends)
-        if targets is None:
-            return 2
-        result = _cluster_server(args, targets).run(workload,
-                                                    args.requests)
+        if fluid:
+            result = _fluid_cluster(args, workload, host_rate,
+                                    floor_s, pool=n).run(
+                                        args.requests)
+        else:
+            targets = _cluster_targets(n, args.host_backends)
+            if targets is None:
+                return 2
+            result = _cluster_server(args, targets).run(workload,
+                                                        args.requests)
         points.append(cost_point(f"fixed-{n}", result))
         print(f"fixed-{n}: {result.summary()}")
     for kind in ("reactive", "predictive"):
-        targets = _cluster_targets(args.pool, args.host_backends)
-        if targets is None:
-            return 2
         autoscaler = _autoscaler_from_args(args, workload, host_rate,
                                            kind)
-        result = _cluster_server(
-            args, targets,
-            autoscaler=autoscaler).run(workload, args.requests)
+        if fluid:
+            result = _fluid_cluster(
+                args, workload, host_rate, floor_s, pool=args.pool,
+                autoscaler=autoscaler).run(args.requests)
+        else:
+            targets = _cluster_targets(args.pool, args.host_backends)
+            if targets is None:
+                return 2
+            result = _cluster_server(
+                args, targets,
+                autoscaler=autoscaler).run(workload, args.requests)
         points.append(cost_point(kind, result))
         print(f"{kind}: {result.summary()}")
     print()
@@ -1276,6 +1346,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="fan per-victim runs across N processes "
                             "(results identical to --jobs 1)")
+    chaos.add_argument("--scheduler", default=None,
+                       choices=["heap", "wheel"],
+                       help="DES kernel (default: heap, or "
+                            "$REPRO_SIM_SCHEDULER); results are "
+                            "byte-identical across kernels")
 
     serve_common = argparse.ArgumentParser(add_help=False)
     serve_common.add_argument(
@@ -1312,6 +1387,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_common.add_argument(
         "--warmup", type=int, default=0,
         help="leading completions excluded from latency stats")
+    serve_common.add_argument(
+        "--scheduler", default=None, choices=["heap", "wheel"],
+        help="DES kernel (default: heap, or $REPRO_SIM_SCHEDULER); "
+             "results are byte-identical across kernels")
 
     serve_run = sub.add_parser(
         "serve-run", parents=[serve_common],
@@ -1414,6 +1493,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--spill-threshold", type=int, default=None, metavar="N",
         help="outstanding requests before a shard spills to the "
              "least-loaded host (default: window + queue depth)")
+    cluster_common.add_argument(
+        "--scheduler", default=None, choices=["heap", "wheel"],
+        help="DES kernel (default: heap, or $REPRO_SIM_SCHEDULER); "
+             "results are byte-identical across kernels")
 
     cluster_run = sub.add_parser(
         "cluster-run", parents=[cluster_common],
@@ -1506,6 +1589,11 @@ def build_parser() -> argparse.ArgumentParser:
     autoscale_common.add_argument(
         "--smoke", action="store_true",
         help="CI-sized run (120 requests, pool of 3)")
+    autoscale_common.add_argument(
+        "--fluid", action="store_true",
+        help="hybrid fluid/DES model instead of per-request DES "
+             "(million-user days in milliseconds; see DESIGN.md "
+             "section 16 for the validity envelope)")
 
     autoscale_run = sub.add_parser(
         "autoscale-run", parents=[cluster_common, autoscale_common],
@@ -1522,6 +1610,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="dump the metric/trace events as JSONL for offline "
              "trace-analyze")
+    autoscale_run.add_argument(
+        "--fluid-gate", action="store_true",
+        help="run BOTH the fluid model and the pure-DES cluster, "
+             "print the equivalence gate, exit non-zero on "
+             "disagreement")
 
     autoscale_sweep = sub.add_parser(
         "autoscale-sweep",
@@ -1623,7 +1716,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf_run = sub.add_parser(
         "perf-run",
         help="time the wall-clock perf suite; write / check "
-             "BENCH_PR4.json")
+             "BENCH_PR9.json")
     perf_run.add_argument(
         "--smoke", action="store_true",
         help="CI-sized workloads (seconds instead of a minute)")

@@ -5,15 +5,25 @@ module measures *host* wall-clock over three canonical workloads:
 
 * ``sim_events_per_sec`` — a pure DES producer/consumer/resource
   workload on :mod:`repro.sim` (the kernel under every experiment).
+* ``sim_wheel_events_per_sec`` — a serve-shaped workload (a deep
+  pending set of jittered deadlines plus same-instant completion
+  chains) timed on **both** scheduler kernels; the headline is the
+  event-wheel rate and the detail records the heap baseline and the
+  matched-workload speedup.
 * ``googlenet_fp32_img_s`` / ``googlenet_fp16_img_s`` — functional
   GoogLeNet-mini forward passes at batch 8 in both precision
   policies (the numerics under every functional experiment).
 * ``serve_req_per_sec`` — one end-to-end open-loop serving run
   (workload synthesis, admission, batching, routing, multi-VPU
   simulation), i.e. the ``serve-run`` smoke path.
+* ``fluid_day_s`` — a million-user diurnal autoscale day under the
+  hybrid fluid model (:mod:`repro.sim.fluid`).  The value is a rate
+  (simulated days per wall second, higher = better) so the
+  regression gate treats it like every other workload; the detail
+  records the raw wall seconds.
 
 ``python -m repro perf-run`` times the suite and can write / check
-``BENCH_PR4.json`` at the repository root:
+``BENCH_PR9.json`` at the repository root:
 
 * ``--out FILE`` writes the measured numbers (optionally folding in a
   previously recorded ``--baseline FILE`` so the file carries
@@ -40,7 +50,7 @@ from typing import Callable, Optional
 BENCH_SCHEMA = 1
 
 #: Default benchmark artefact at the repository root.
-BENCH_FILENAME = "BENCH_PR4.json"
+BENCH_FILENAME = "BENCH_PR9.json"
 
 
 @dataclass
@@ -120,6 +130,45 @@ def _sim_workload(n_items: int, n_workers: int = 4) -> int:
     return env._seq
 
 
+def _serve_shape_workload(sessions: int, cycles: int,
+                          scheduler: str) -> int:
+    """Serve-shaped kernel stress: a deep pending set of jittered
+    deadline timers with same-instant completion chains.
+
+    This is the million-user regime the event wheel targets — every
+    concurrent session holds a far-out deadline (so the pending set
+    is ``sessions`` deep) while completions hop through now-events.
+    A binary heap pays ``log(sessions)`` per operation here, now-
+    events included; the wheel's now-deques and cursor bucket do not.
+    Returns events scheduled (``env._seq``), identical across kernels
+    by the determinism contract.
+    """
+    from repro.sim.core import Environment
+
+    env = Environment(scheduler=scheduler)
+
+    def hop(ev):
+        yield ev
+
+    def session(state: int):
+        for _ in range(cycles):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            # Deadline-style timer: far out relative to the chains
+            # below, jittered so sessions interleave.
+            yield env.timeout(0.05 + (state / 0x7FFFFFFF) * 0.1)
+            # Completion chase: a few same-instant event hops.
+            for _ in range(3):
+                ev = env.event()
+                env.process(hop(ev))
+                ev.succeed()
+                yield env.timeout(0.0)
+
+    for i in range(sessions):
+        env.process(session((i * 2654435761) & 0x7FFFFFFF))
+    env.run()
+    return env._seq
+
+
 def _best_of(fn: Callable[[], tuple[float, dict]], repeats: int
              ) -> tuple[float, float, dict]:
     """Run ``fn`` ``repeats`` times; return (best rate, wall, detail)."""
@@ -145,6 +194,79 @@ def bench_sim(n_items: int = 3000, repeats: int = 3) -> BenchSample:
     rate, wall, detail = _best_of(once, repeats)
     return BenchSample("sim_events_per_sec", "events/s", rate, wall,
                        repeats, detail)
+
+
+def bench_sim_wheel(sessions: int = 20000, cycles: int = 4,
+                    repeats: int = 3) -> BenchSample:
+    """Events/sec of the serve-shaped workload on the event wheel.
+
+    The same workload is timed on both kernels (interleaved, best of
+    ``repeats`` each) so the recorded speedup is a matched-workload
+    comparison, not a cross-workload one.  Fire order is identical by
+    the determinism contract; only the wall clock differs.
+    """
+    _serve_shape_workload(512, 2, "wheel")   # warm both kernels
+    _serve_shape_workload(512, 2, "heap")
+
+    best = {"wheel": 0.0, "heap": 0.0}
+    wall = {"wheel": float("inf"), "heap": float("inf")}
+    events = 0
+    for _ in range(repeats):
+        for kernel in ("wheel", "heap"):
+            t0 = time.perf_counter()
+            events = _serve_shape_workload(sessions, cycles, kernel)
+            dt = time.perf_counter() - t0
+            rate = events / dt if dt > 0 else float("inf")
+            if rate > best[kernel]:
+                best[kernel], wall[kernel] = rate, dt
+    return BenchSample(
+        "sim_wheel_events_per_sec", "events/s", best["wheel"],
+        wall["wheel"], repeats,
+        {"scheduler": "wheel", "sessions": sessions, "cycles": cycles,
+         "events": events,
+         "heap_events_per_sec": best["heap"],
+         "speedup_vs_heap": (best["wheel"] / best["heap"]
+                             if best["heap"] > 0 else float("inf"))})
+
+
+def bench_fluid(requests: int = 1_000_000,
+                repeats: int = 3) -> BenchSample:
+    """Simulated diurnal days per wall second of the hybrid model.
+
+    One million requests over a diurnal cycle with the reactive
+    autoscaler — the campaign shape ``autoscale-sweep --fluid``
+    runs.  Rates are synthetic (no device calibration) so the bench
+    is hermetic; the detail records the raw day wall seconds.
+    """
+    from repro.cluster.autoscale import Autoscaler, ReactivePolicy
+    from repro.serve.workload import DiurnalWorkload
+    from repro.sim.fluid import FluidCluster
+
+    def day() -> "FluidCluster":
+        return FluidCluster(
+            DiurnalWorkload(peak_rate=180000.0, period_s=10.0,
+                            floor_frac=0.1, seed=7),
+            host_rate=30000.0, pool=8,
+            autoscaler=Autoscaler(
+                ReactivePolicy(high_water=2.0, low_water=0.5),
+                min_hosts=2, max_hosts=8, interval_s=0.02,
+                cooldown_s=0.05, warm_pool=2),
+            slo_seconds=0.250, service_floor_s=8 / 30000.0, seed=7)
+
+    result = day().run(max(1000, requests // 10))  # warm
+
+    def once() -> tuple[float, dict]:
+        result = day().run(requests)
+        return 1.0, {
+            "requests": requests,
+            "day_wall_s": result.elapsed_s,
+            "fluid_windows": result.fluid_windows,
+            "des_windows": result.des_windows,
+            "slo_attainment": result.slo_attainment}
+
+    rate, wall, detail = _best_of(once, repeats)
+    return BenchSample("fluid_day_s", "day/s", rate, wall, repeats,
+                       detail)
 
 
 def bench_forward(precision: str = "fp32", batch: int = 8,
@@ -206,8 +328,12 @@ def bench_serve(requests: int = 80, rate: float = 60.0,
 #: Workload sizes per mode.  ``smoke`` keeps CI under a minute; both
 #: modes measure rates, so their numbers are directly comparable.
 _MODES: dict[str, dict[str, int]] = {
-    "full": {"sim_items": 4000, "forwards": 12, "requests": 80},
-    "smoke": {"sim_items": 1200, "forwards": 4, "requests": 32},
+    "full": {"sim_items": 4000, "forwards": 12, "requests": 80,
+             "wheel_sessions": 20000, "wheel_cycles": 4,
+             "fluid_requests": 1_000_000},
+    "smoke": {"sim_items": 1200, "forwards": 4, "requests": 32,
+              "wheel_sessions": 4000, "wheel_cycles": 2,
+              "fluid_requests": 200_000},
 }
 
 
@@ -219,9 +345,12 @@ def run_suite(mode: str = "full") -> dict[str, BenchSample]:
     size = _MODES[mode]
     samples = [
         bench_sim(n_items=size["sim_items"]),
+        bench_sim_wheel(sessions=size["wheel_sessions"],
+                        cycles=size["wheel_cycles"]),
         bench_forward("fp32", forwards=size["forwards"]),
         bench_forward("fp16", forwards=size["forwards"]),
         bench_serve(requests=size["requests"]),
+        bench_fluid(requests=size["fluid_requests"]),
     ]
     return {s.name: s for s in samples}
 

@@ -10,10 +10,13 @@ processed in FIFO order of scheduling, so repeated runs of the same model
 produce identical traces.
 """
 
-from repro.sim.core import Environment, Event, Process, Timeout, Interrupt
+from repro.sim.core import (Environment, Event, Process, Timeout,
+                            Interrupt, CANCELLED, SCHEDULERS,
+                            SCHEDULER_ENV_VAR)
 from repro.sim.resources import Resource, PriorityResource, Store
 from repro.sim.channel import Channel
 from repro.sim.monitor import Monitor, TraceRecorder
+from repro.sim.wheel import CalendarQueue
 
 __all__ = [
     "Environment",
@@ -21,6 +24,10 @@ __all__ = [
     "Process",
     "Timeout",
     "Interrupt",
+    "CANCELLED",
+    "SCHEDULERS",
+    "SCHEDULER_ENV_VAR",
+    "CalendarQueue",
     "Resource",
     "PriorityResource",
     "Store",

@@ -16,7 +16,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.core import PENDING, Environment, Event
+from repro.sim.core import CANCELLED, PENDING, Environment, Event
 
 
 class Request(Event):
@@ -165,6 +165,9 @@ class Store:
         self.items: list[Any] = []
         self._putters: list[StorePut] = []
         self._getters: list[StoreGet] = []
+        #: Cancelled waiters still sitting in the lists above (lazy
+        #: delete); compacted once they outnumber the live waiters.
+        self._cancelled = 0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -227,24 +230,37 @@ class Store:
         losing ``get``, otherwise the stranded getter silently
         swallows a later item that nobody will ever read.  Cancelling
         an already-triggered event is a no-op (its value stands).
+
+        The waiter-list entry is lazily deleted: the event is marked
+        with an internal sentinel (O(1) — no ``list.remove`` scan) and
+        skipped by the dispatcher; once cancelled entries outnumber
+        live waiters, both lists are compacted in one pass.  This
+        keeps cancel-heavy deadline races (the common serve pattern:
+        most SLO timers are cancelled by completion) linear instead of
+        quadratic.
         """
         if event.triggered:
             return
-        if isinstance(event, StoreGet):
-            try:
-                self._getters.remove(event)
-            except ValueError:
-                pass
-        elif isinstance(event, StorePut):
-            try:
-                self._putters.remove(event)
-            except ValueError:
-                pass
-        else:
+        if not isinstance(event, (StoreGet, StorePut)):
             raise SimulationError(
                 f"cannot cancel {event!r}: not a store put/get")
+        event._value = CANCELLED
+        event._ok = True
+        event._defused = True
+        event.callbacks = None
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._putters) + len(self._getters):
+            self._compact()
 
     # -- internals ----------------------------------------------------------
+    def _compact(self) -> None:
+        """Drop cancelled waiters from both lists in one pass."""
+        self._putters[:] = [e for e in self._putters
+                            if e._value is PENDING]
+        self._getters[:] = [e for e in self._getters
+                            if e._value is PENDING]
+        self._cancelled = 0
+
     def _dispatch(self) -> None:
         items = self.items
         capacity = self.capacity
@@ -256,6 +272,7 @@ class Store:
             while putters and len(items) < capacity:
                 put = putters.pop(0)
                 if put._value is not PENDING:
+                    self._cancelled -= 1
                     continue  # cancelled/withdrawn while waiting
                 items.append(put.item)
                 put.succeed()
@@ -270,6 +287,7 @@ class Store:
                 remaining: list[StoreGet] = []
                 for get in getters:
                     if get._value is not PENDING:
+                        self._cancelled -= 1
                         continue
                     idx = self._find(get.filter)
                     if idx is None:

@@ -1,0 +1,446 @@
+"""Calendar-queue (event-wheel) scheduler for the DES kernel.
+
+A drop-in alternative to the binary heap in :mod:`repro.sim.core`,
+selected via ``Environment(scheduler="wheel")``.  The heap pays
+``O(log n)`` comparisons *and* a key-tuple allocation per push; the
+wheel exploits the structure of DES schedules instead:
+
+* **Now-deques** — the overwhelmingly common case is scheduling an
+  event at the *current* timestamp (process resumptions, store
+  handoffs, event chains).  Those land in one of two plain deques
+  (urgent / normal), holding bare events with no key tuple and no
+  comparisons at all.  FIFO order *is* seq order: ``seq`` increases
+  monotonically with push order, so at equal ``(time, priority)`` the
+  deque order matches the heap's tie-break exactly.
+* **Bucketed wheel** — near-future events (timeouts) hash into
+  ``nbuckets`` buckets of width ``width`` seconds.  The cursor bucket
+  — the one the clock currently sits in — is kept sorted ascending by
+  the full ``(time, priority, seq)`` key, with a *head* index marking
+  the consumed prefix: pushes use C ``bisect.insort`` (bounded below
+  by the head), pops advance the head.  No per-advance sort, no list
+  deletes.  Later buckets collect unsorted appends and are sorted
+  once, when the cursor reaches them.
+* **Overflow heap** — events beyond the wheel horizon, scheduled in
+  the past (a ``run(until=t)`` stop can leave the wheel mid-bucket),
+  or carrying an exotic priority outside ``{URGENT, NORMAL}`` fall
+  back to an ordinary heap.  Past/exotic entries flip the sticky
+  ``_general`` flag, switching ``pop`` to a fully general three-way
+  merge until the overflow drains — correctness never depends on the
+  fast path applying.
+* **Lazy resize** — bucket width adapts to occupancy: a crowded
+  bucket narrows the width, repeated long empty-bucket scans widen
+  it, and an empty wheel re-anchors at the overflow's earliest event
+  and migrates the new horizon back into buckets.
+
+Ordering contract (asserted by the dual-kernel property tests): pops
+occur in exactly ascending ``(time, priority, seq)`` — byte-identical
+to the heap kernel.  Two invariants carry the proof:
+
+1. Deque items at ``(t, p)`` were all pushed while the wheel clock
+   sat at ``t``; any overflow item at the same ``(t, p)`` was pushed
+   *before* the clock reached ``t`` (pushes at the current time never
+   enter the overflow), hence has a smaller ``seq`` — so on a
+   ``(time, priority)`` tie the overflow pops first.
+2. Unconsumed bucket items are strictly in the future of the wheel
+   clock (advancing consumes every item at the new minimum), so
+   buckets never compete with the now-deques.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Optional
+
+#: Crowded-bucket threshold: more live items than this in the cursor
+#: bucket triggers a width shrink (keeps insertion memmoves small).
+_SHRINK_AT = 64
+#: An advance that scans at least this many empty buckets counts as
+#: "sparse"; several in a row trigger a width grow.
+_SPARSE_SCAN = 16
+_SPARSE_RUNS = 4
+
+
+class CalendarQueue:
+    """Bucketed event queue with now-deques and an overflow heap.
+
+    Items are ``(time, priority, seq, event)``; ``pop`` returns them
+    in ascending key order.  Events popped from the now-deques come
+    back with ``seq == 0`` — the real sequence number is not kept for
+    deque entries (ordering is positional); callers only consume the
+    time and the event.
+    """
+
+    __slots__ = ("_time", "_urgent", "_normal", "_buckets", "_nbuckets",
+                 "_base", "_width", "_inv_width", "_cursor", "_active",
+                 "_head", "_overflow", "_general", "_bucket_items",
+                 "_sparse", "_shrink_at")
+
+    def __init__(self, initial_time: float = 0.0,
+                 nbuckets: int = 256, width: float = 1.0) -> None:
+        self._time = float(initial_time)   #: timestamp of the now-deques
+        self._urgent: deque = deque()      #: URGENT events at _time
+        self._normal: deque = deque()      #: NORMAL events at _time
+        self._nbuckets = nbuckets
+        self._buckets: list[list] = [[] for _ in range(nbuckets)]
+        self._base = self._time            #: start time of the cursor bucket
+        self._width = float(width)
+        self._inv_width = 1.0 / self._width
+        self._cursor = 0
+        self._active = self._buckets[0]    #: the cursor bucket (sorted)
+        self._head = 0                     #: consumed prefix of _active
+        self._overflow: list = []          #: heap: far-future/past/exotic
+        self._general = False              #: overflow holds past/exotic items
+        self._bucket_items = 0             #: live (unconsumed) bucket items
+        self._sparse = 0
+        #: Dynamic crowded-bucket threshold.  Starts at _SHRINK_AT and
+        #: doubles whenever a shrink attempt decides not to rebuild
+        #: (all-one-timestamp runs, or already at the width floor), so
+        #: a legitimately crowded bucket does not pay a _maybe_shrink
+        #: call on every subsequent push.  Reset on rebuild/advance.
+        self._shrink_at = _SHRINK_AT
+
+    # -- push ------------------------------------------------------------
+    def push(self, t: float, priority: int, seq: int, event: Any) -> None:
+        """Insert one scheduled event."""
+        if t == self._time:
+            if priority == 1:
+                self._normal.append(event)
+                return
+            if priority == 0:
+                self._urgent.append(event)
+                return
+            heappush(self._overflow, (t, priority, seq, event))
+            self._general = True
+            return
+        d = t - self._base
+        if t > self._time and d >= 0.0:
+            idx = int(d * self._inv_width)
+            if idx == 0:
+                # Cursor bucket: sorted insert past the consumed head.
+                insort(self._active, (t, priority, seq, event),
+                       self._head)
+                self._bucket_items += 1
+                if len(self._active) - self._head > self._shrink_at:
+                    self._maybe_shrink()
+                return
+            if idx < self._nbuckets:
+                self._buckets[(self._cursor + idx) % self._nbuckets].append(
+                    (t, priority, seq, event))
+                self._bucket_items += 1
+                return
+            heappush(self._overflow, (t, priority, seq, event))
+            return
+        # Scheduled at or before the wheel clock (a run(until=t) stop
+        # or a past-item general pop can move env time behind the
+        # wheel clock, and the bucket window may still cover such a
+        # timestamp): general territory — buckets only ever hold
+        # strictly-future items (invariant 2).
+        heappush(self._overflow, (t, priority, seq, event))
+        self._general = True
+
+    # -- pop -------------------------------------------------------------
+    def pop(self) -> Optional[tuple]:
+        """Remove and return the minimum item, or None when empty."""
+        while True:
+            if self._general:
+                return self._pop_general()
+            u = self._urgent
+            if u:
+                return (self._time, 0, 0, u.popleft())
+            n = self._normal
+            if n:
+                return (self._time, 1, 0, n.popleft())
+            if not self._advance():
+                return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event without removing it, or None."""
+        of = self._overflow
+        if self._urgent or self._normal:
+            t = self._time
+            if of and of[0][0] < t:
+                return of[0][0]
+            return t
+        bt = self._bucket_min_time()
+        ot = of[0][0] if of else None
+        if bt is None:
+            return ot
+        if ot is None or bt < ot:
+            return bt
+        return ot
+
+    # -- the slow paths --------------------------------------------------
+    def _pop_general(self) -> Optional[tuple]:
+        """Fully ordered three-way merge: deques vs overflow vs wheel.
+
+        Active while the overflow holds past-time or exotic-priority
+        entries.  On a ``(time, priority)`` tie the overflow wins —
+        its entries predate the clock's arrival at that timestamp, so
+        their sequence numbers are smaller (invariant 1 above).
+        """
+        u = self._urgent
+        n = self._normal
+        of = self._overflow
+        while True:
+            if u:
+                dp = 0
+            elif n:
+                dp = 1
+            else:
+                dp = None
+            if of:
+                top = of[0]
+                if dp is None:
+                    bt = self._bucket_min_time()
+                    if bt is not None and bt <= top[0]:
+                        # The wheel holds the minimum (a tie always
+                        # goes to the wheel first: see _advance — the
+                        # staged run then competes with the overflow
+                        # under the tie rule below).
+                        if not self._advance():
+                            return None
+                        continue
+                    item = heappop(of)
+                    t = item[0]
+                    self._time = t
+                    # Pull the rest of the same-time run into the
+                    # deques so later now-pushes order after it.
+                    while of and of[0][0] == t and of[0][1] <= 1:
+                        entry = heappop(of)
+                        if entry[1] == 0:
+                            u.append(entry[3])
+                        else:
+                            n.append(entry[3])
+                    if not of:
+                        self._general = False
+                    return item
+                if (top[0], top[1]) <= (self._time, dp):
+                    item = heappop(of)
+                    if not of:
+                        self._general = False
+                    # Deques stay put: _time is their timestamp, not
+                    # the popped item's (which may be in its past).
+                    return item
+            if dp is not None:
+                if dp == 0:
+                    return (self._time, 0, 0, u.popleft())
+                return (self._time, 1, 0, n.popleft())
+            # Deques and overflow are empty.
+            self._general = False
+            if not self._advance():
+                return None
+
+    def _bucket_min_time(self) -> Optional[float]:
+        """Earliest event time anywhere in the wheel, or None.
+
+        Buckets partition time in cursor order within one lap, so the
+        first non-empty bucket contains the wheel-wide minimum.
+        """
+        if not self._bucket_items:
+            return None
+        if self._head < len(self._active):
+            return self._active[self._head][0]
+        buckets = self._buckets
+        nb = self._nbuckets
+        cursor = self._cursor
+        for k in range(1, nb):
+            b = buckets[(cursor + k) % nb]
+            if b:
+                return min(item[0] for item in b)
+        return None
+
+    # -- advancing the clock ---------------------------------------------
+    def _advance(self) -> bool:
+        """Move the clock to the next scheduled time and stage that
+        run of events into the now-deques.  Returns False when the
+        queue is empty.  Only called with both deques empty."""
+        b = self._active
+        h = self._head
+        ln = len(b)
+        if h >= ln:
+            if not self._next_bucket():
+                return False
+            b = self._active
+            h = self._head
+            ln = len(b)
+        item = b[h]
+        t = item[0]
+        self._time = t
+        # Stage the whole run at t; the singleton case falls through
+        # the while-condition immediately.
+        urgent = self._urgent
+        normal = self._normal
+        while True:
+            p = item[1]
+            if p == 1:
+                normal.append(item[3])
+            elif p == 0:
+                urgent.append(item[3])
+            else:
+                heappush(self._overflow, item)
+                self._general = True
+            h += 1
+            self._bucket_items -= 1
+            if h >= ln or b[h][0] != t:
+                break
+            item = b[h]
+        if h >= ln:
+            del b[:]
+            self._head = 0
+        else:
+            self._head = h
+        return True
+
+    def _next_bucket(self) -> bool:
+        """Move the cursor to the next occupied bucket (sorting it),
+        or re-anchor from the overflow when the wheel is empty."""
+        if self._bucket_items:
+            buckets = self._buckets
+            nb = self._nbuckets
+            cursor = self._cursor
+            for k in range(1, nb + 1):
+                b = buckets[(cursor + k) % nb]
+                if b:
+                    break
+            self._cursor = (cursor + k) % nb
+            self._base += k * self._width
+            if k >= _SPARSE_SCAN:
+                self._sparse += 1
+                if self._sparse >= _SPARSE_RUNS:
+                    self._sparse = 0
+                    self._rebuild(self._width * _SPARSE_SCAN)
+                    return self._next_bucket()
+            else:
+                self._sparse = 0
+            b.sort()
+            self._active = b
+            self._head = 0
+            self._shrink_at = _SHRINK_AT
+            return True
+        of = self._overflow
+        if not of:
+            return False
+        # Wheel empty: re-anchor at the overflow's earliest event and
+        # migrate everything inside the new horizon back into buckets.
+        # (Never reached with past/exotic overflow entries — the
+        # general pop path only advances while buckets are occupied.)
+        t0 = of[0][0]
+        nb = self._nbuckets
+        self._cursor = 0
+        self._base = t0
+        self._sparse = 0
+        horizon = t0 + nb * self._width
+        inv = self._inv_width
+        buckets = self._buckets
+        while of and of[0][0] < horizon:
+            item = heappop(of)
+            idx = int((item[0] - t0) * inv)
+            if idx >= nb:  # float rounding at the horizon edge
+                heappush(of, item)
+                break
+            buckets[idx].append(item)
+            self._bucket_items += 1
+        b = buckets[0]
+        b.sort()
+        self._active = b
+        self._head = 0
+        if not b:
+            # First migrated item rounded past bucket 0; scan onward.
+            return self._next_bucket()
+        return True
+
+    # -- lazy resize -----------------------------------------------------
+    def _maybe_shrink(self) -> None:
+        """Narrow the bucket width so the crowded cursor bucket would
+        spread out over many buckets.  When shrinking cannot help
+        (single-timestamp run, width floor reached) the trigger
+        threshold doubles instead, so the decision is not re-made on
+        every push into a bucket that is allowed to stay crowded."""
+        b = self._active
+        h = self._head
+        span = b[-1][0] - b[h][0]
+        if span <= 0.0 or self._width <= 1e-9:
+            self._shrink_at *= 2
+            return  # one timestamp; narrower buckets cannot help
+        live = len(b) - h
+        width = max(span * 4.0 / live, span / (self._nbuckets // 2))
+        if width < self._width:
+            self._rebuild(width)
+        else:
+            self._shrink_at *= 2
+
+    def _rebuild(self, width: float) -> None:
+        """Re-bucket every wheel item under a new width, anchored at
+        the current clock.  Items past the new horizon spill to the
+        overflow (where they stay strictly future — no generality)."""
+        # Drop the cursor bucket's consumed (already fired) prefix
+        # before collecting, so it cannot be re-inserted.
+        if self._head:
+            del self._active[:self._head]
+            self._head = 0
+        items: list = []
+        for b in self._buckets:
+            if b:
+                items.extend(b)
+                del b[:]
+        self._bucket_items = 0
+        self._width = float(width)
+        self._inv_width = 1.0 / self._width
+        self._base = self._time
+        self._cursor = 0
+        nb = self._nbuckets
+        inv = self._inv_width
+        base = self._base
+        of = self._overflow
+        buckets = self._buckets
+        for item in items:
+            idx = int((item[0] - base) * inv)
+            if 0 <= idx < nb:
+                buckets[idx].append(item)
+                self._bucket_items += 1
+            else:
+                heappush(of, item)
+        b = buckets[0]
+        b.sort()
+        self._active = b
+        self._head = 0
+        self._shrink_at = _SHRINK_AT
+
+    # -- maintenance -----------------------------------------------------
+    def __len__(self) -> int:
+        return (len(self._urgent) + len(self._normal)
+                + self._bucket_items + len(self._overflow))
+
+    def compact(self, drop: Callable[[Any], bool]) -> int:
+        """Remove every queued event for which ``drop(event)`` is
+        true; returns how many were removed."""
+        removed = 0
+        for dq in (self._urgent, self._normal):
+            kept = [ev for ev in dq if not drop(ev)]
+            if len(kept) != len(dq):
+                removed += len(dq) - len(kept)
+                # In-place: the run loop aliases these deques.
+                dq.clear()
+                dq.extend(kept)
+        # Strip the cursor bucket's consumed prefix first so the
+        # filter below only sees live entries.
+        if self._head:
+            del self._active[:self._head]
+            self._head = 0
+        for b in self._buckets:
+            if b:
+                kept_items = [item for item in b if not drop(item[3])]
+                if len(kept_items) != len(b):
+                    removed += len(b) - len(kept_items)
+                    self._bucket_items -= len(b) - len(kept_items)
+                    b[:] = kept_items
+        kept_of = [item for item in self._overflow if not drop(item[3])]
+        removed += len(self._overflow) - len(kept_of)
+        if len(kept_of) != len(self._overflow):
+            heapify(kept_of)
+            self._overflow[:] = kept_of
+            if not kept_of:
+                self._general = False
+        return removed

@@ -1,0 +1,229 @@
+"""Tests for the hybrid fluid/DES model (:mod:`repro.sim.fluid`).
+
+Covers determinism, termination and accounting invariants of
+:class:`FluidCluster`, the window-mode routing (fluid in steady
+state, DES at transients), the slow-host regression (service time
+longer than the tick interval must still drain), cost-frontier
+compatibility, and the equivalence gate in both directions — PASS on
+an in-envelope config against a real :class:`ClusterServer` run, and
+FAIL loudly when the operating regimes disagree.
+"""
+
+import pytest
+
+from repro.cluster import Autoscaler, ClusterServer, ReactivePolicy, cost_point
+from repro.errors import SimulationError
+from repro.serve import DiurnalWorkload, PoissonWorkload
+from repro.sim.fluid import FluidCluster, FluidResult, equivalence_gate
+
+
+def _reactive(**kwargs):
+    kwargs.setdefault("min_hosts", 1)
+    kwargs.setdefault("interval_s", 0.005)
+    kwargs.setdefault("cooldown_s", 0.01)
+    kwargs.setdefault("warm_pool", 2)
+    policy = ReactivePolicy(high_water=kwargs.pop("high_water", 2.0),
+                            low_water=kwargs.pop("low_water", 0.5))
+    return Autoscaler(policy, **kwargs)
+
+
+def _day(seed=11):
+    return DiurnalWorkload(peak_rate=1600, period_s=1.0,
+                           floor_frac=0.1, seed=seed)
+
+
+def _fluid(workload=None, **kwargs):
+    kwargs.setdefault("host_rate", 500.0)
+    kwargs.setdefault("pool", 4)
+    kwargs.setdefault("slo_seconds", 0.080)
+    return FluidCluster(workload or _day(), **kwargs)
+
+
+# -- validation -------------------------------------------------------------
+
+def test_fluid_validation():
+    with pytest.raises(SimulationError):
+        _fluid(host_rate=0.0)
+    with pytest.raises(SimulationError):
+        _fluid(pool=0)
+    with pytest.raises(SimulationError):
+        _fluid(slo_seconds=-1.0)
+    with pytest.raises(SimulationError):
+        _fluid(initial_hosts=9)   # > pool
+    with pytest.raises(SimulationError):
+        _fluid().run(0)
+    with pytest.raises(SimulationError):
+        _fluid(object())          # no rate_at / rate
+
+
+def test_constant_rate_workload_accepted():
+    result = _fluid(PoissonWorkload(rate=400.0, seed=3)).run(200)
+    assert result.offered == 200
+    assert result.completed == 200
+
+
+# -- determinism and accounting ---------------------------------------------
+
+def test_same_seed_same_numbers():
+    a = _fluid(autoscaler=_reactive(), seed=5).run(400)
+    b = _fluid(autoscaler=_reactive(), seed=5).run(400)
+    assert a.offered == b.offered
+    assert a.completed == b.completed
+    assert a.attained_mass == b.attained_mass
+    assert a.host_seconds == b.host_seconds
+    assert a.p99 == b.p99
+    assert [(w.mode, w.start) for w in a.windows] \
+        == [(w.mode, w.start) for w in b.windows]
+    assert [(e.time, e.action) for e in a.scale_events] \
+        == [(e.time, e.action) for e in b.scale_events]
+
+
+def test_accounting_invariants():
+    result = _fluid(autoscaler=_reactive()).run(500)
+    assert result.offered == 500
+    assert result.completed == 500       # the model never sheds
+    assert 0.0 <= result.slo_attainment <= 1.0
+    assert result.attained_mass <= result.completed_mass + 1e-6
+    assert result.host_seconds > 0.0
+    assert result.wall_seconds > 0.0
+    assert result.fluid_windows + result.des_windows \
+        == len(result.windows)
+    assert result.p99 >= 0.0
+    assert result.percentile(0.5) <= result.p99
+    assert "attainment" in result.summary()
+
+
+def test_empty_result_percentile_raises():
+    empty = FluidResult(offered=0, completed=0, completed_mass=0.0,
+                        attained_mass=0.0, host_seconds=0.0,
+                        wall_seconds=0.0, elapsed_s=0.0,
+                        slo_seconds=0.1)
+    with pytest.raises(ValueError):
+        empty.p99
+    assert empty.slo_attainment == 0.0
+
+
+# -- window-mode routing ----------------------------------------------------
+
+def test_mega_scale_day_is_mostly_fluid():
+    """At million-user scale the stochastic wait shrinks with n
+    (square-root staffing): the day must run almost entirely on the
+    ODE, not per-request DES — that is the whole speed claim."""
+    asc = Autoscaler(ReactivePolicy(high_water=2.0, low_water=0.5),
+                     min_hosts=2, max_hosts=8, interval_s=0.02,
+                     cooldown_s=0.05, warm_pool=2)
+    result = _fluid(
+        DiurnalWorkload(peak_rate=180000.0, period_s=10.0,
+                        floor_frac=0.1, seed=7),
+        host_rate=30000.0, pool=8, autoscaler=asc,
+        slo_seconds=0.250, service_floor_s=8 / 30000.0,
+        seed=7).run(300_000)
+    assert result.offered == 300_000
+    assert result.fluid_windows > 10 * result.des_windows
+    assert result.slo_attainment > 0.95
+    assert len(result.scale_events) > 0
+
+
+def test_hybrid_off_forces_pure_fluid():
+    result = _fluid(autoscaler=_reactive(), hybrid=False).run(300)
+    assert result.des_windows == 0
+    assert result.fluid_windows == len(result.windows)
+
+
+def test_slow_hosts_terminate_and_complete():
+    """Regression: a service time (1/mu = 50 ms) longer than the
+    tick interval (20 ms) must still drain — server occupancy
+    carries across consecutive DES windows."""
+    asc = Autoscaler(ReactivePolicy(high_water=4.0, low_water=1.0),
+                     min_hosts=1, max_hosts=3, interval_s=0.02,
+                     cooldown_s=0.05, warm_pool=1)
+    result = _fluid(
+        DiurnalWorkload(peak_rate=50.0, period_s=2.0,
+                        floor_frac=0.1, seed=0),
+        host_rate=20.0, pool=3, autoscaler=asc, slo_seconds=1.5,
+        service_floor_s=8 / 20.0, seed=0).run(120)
+    assert result.offered == 120
+    assert result.completed == 120
+    assert result.p99 < 5.0   # queued, not stuck
+
+
+def test_service_floor_raises_latency_floor():
+    lo = _fluid(service_floor_s=None).run(200)
+    hi = _fluid(service_floor_s=0.050).run(200)
+    assert hi.percentile(0.5) >= lo.percentile(0.5) + 0.04
+
+
+# -- frontier compatibility -------------------------------------------------
+
+def test_cost_point_accepts_fluid_result():
+    result = _fluid(autoscaler=_reactive(), seed=2).run(400)
+    point = cost_point("fluid-reactive", result)
+    assert point.completed == result.completed
+    assert point.lost == 0
+    assert point.scale_outs == sum(
+        1 for e in result.scale_events if e.action == "scale-out")
+
+
+# -- the equivalence gate ---------------------------------------------------
+
+class _FakeDes:
+    def __init__(self, attainment, goodput, p99):
+        self.slo_attainment = attainment
+        self.goodput = goodput
+        self._p99 = p99
+
+    @property
+    def p99(self):
+        if self._p99 is None:
+            raise ValueError("no completions")
+        return self._p99
+
+
+def test_gate_fails_on_regime_disagreement():
+    fluid = _fluid(autoscaler=_reactive(), seed=2).run(400)
+    report = equivalence_gate(
+        fluid, _FakeDes(attainment=fluid.slo_attainment - 0.5,
+                        goodput=fluid.goodput, p99=fluid.p99))
+    assert not report.ok
+    assert any(c.name == "attainment" and not c.ok
+               for c in report.checks)
+    assert "VIOLATION" in report.render()
+
+
+def test_gate_skips_p99_when_unavailable():
+    fluid = _fluid(autoscaler=_reactive(), seed=2).run(400)
+    report = equivalence_gate(
+        fluid, _FakeDes(attainment=fluid.slo_attainment,
+                        goodput=fluid.goodput, p99=None))
+    assert all(c.name != "p99" for c in report.checks)
+
+
+def test_equivalence_gate_against_real_cluster(chaos_graph):
+    """The acceptance criterion: the hybrid model agrees with a pure
+    per-request :class:`ClusterServer` run on the small elastic-day
+    config (same workload, same autoscaler stack, calibrated rate)."""
+    from repro.ncsw import IntelVPU, NCSw, SyntheticSource
+
+    def targets(n):
+        return [IntelVPU(graph=chaos_graph, num_devices=1,
+                         functional=False) for _ in range(n)]
+
+    fw = NCSw()
+    fw.add_source("s", SyntheticSource(64))
+    one = targets(1)[0]
+    fw.add_target("h", one)
+    batch = max(1, one.preferred_batch_size)
+    host_rate = fw.run("s", "h", batch_size=batch).throughput()
+
+    des = ClusterServer(targets(4), autoscaler=_reactive(),
+                        slo_seconds=0.080, queue_depth=None,
+                        admission="block").run(_day(), 500)
+    fluid = FluidCluster(_day(), host_rate=host_rate, pool=4,
+                         autoscaler=_reactive(), slo_seconds=0.080,
+                         service_floor_s=batch / host_rate,
+                         seed=11).run(500)
+    report = equivalence_gate(fluid, des)
+    assert report.ok, "\n" + report.render()
+    # And the hybrid is not trivially exact DES: on this toy config
+    # most windows sit at the integer/transient regime by design.
+    assert fluid.des_windows > 0

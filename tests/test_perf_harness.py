@@ -123,24 +123,47 @@ def test_render_perf_table_lists_workloads_and_speedup():
 
 
 def test_committed_bench_file_is_current():
-    """The committed BENCH_PR4.json must parse, carry both modes and
-    record the PR's claimed speedups (>=2x forward, >=1.5x sim)."""
+    """The committed BENCH_PR9.json must parse, carry both modes and
+    record this PR's claim: the event wheel beats the heap by >=1.3x
+    on the matched serve-shaped workload, and the fluid day exists."""
     from pathlib import Path
 
     path = Path(__file__).resolve().parents[1] / perf.BENCH_FILENAME
     doc = perf.load_bench(path)
     assert set(doc["modes"]) == {"full", "smoke"}
-    speedup = doc["speedup_vs_baseline"]
-    assert speedup["googlenet_fp32_img_s"] >= 2.0
-    assert speedup["sim_events_per_sec"] >= 1.5
+    for mode in ("full", "smoke"):
+        wheel = doc["modes"][mode]["sim_wheel_events_per_sec"]
+        assert wheel["detail"]["scheduler"] == "wheel"
+        assert wheel["detail"]["speedup_vs_heap"] >= 1.3
+        fluid = doc["modes"][mode]["fluid_day_s"]
+        assert fluid["value"] > 0
+        assert fluid["detail"]["day_wall_s"] > 0
+
+
+def test_bench_sim_wheel_sample_shape():
+    sample = perf.bench_sim_wheel(sessions=200, cycles=1, repeats=1)
+    assert sample.name == "sim_wheel_events_per_sec"
+    assert sample.value > 0
+    assert sample.detail["scheduler"] == "wheel"
+    assert sample.detail["heap_events_per_sec"] > 0
+    assert sample.detail["speedup_vs_heap"] > 0
+
+
+def test_bench_fluid_sample_shape():
+    sample = perf.bench_fluid(requests=20_000, repeats=1)
+    assert sample.name == "fluid_day_s"
+    assert sample.metric == "day/s"
+    assert sample.value > 0
+    assert sample.detail["day_wall_s"] > 0
+    assert sample.detail["requests"] == 20_000
 
 
 def test_cli_perf_run_parses():
     from repro.harness.cli import build_parser
 
     args = build_parser().parse_args(
-        ["perf-run", "--smoke", "--check", "BENCH_PR4.json",
+        ["perf-run", "--smoke", "--check", "BENCH_PR9.json",
          "--tolerance", "0.3"])
     assert args.command == "perf-run"
     assert args.smoke and args.tolerance == 0.3
-    assert args.check == "BENCH_PR4.json"
+    assert args.check == "BENCH_PR9.json"

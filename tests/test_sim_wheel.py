@@ -1,0 +1,205 @@
+"""Dual-kernel equivalence and lazy-delete compaction.
+
+The event wheel (:class:`repro.sim.wheel.CalendarQueue`) is a drop-in
+replacement for the binary heap: same ``(time, priority, seq)`` fire
+order, byte for byte.  The property test here drives one randomized
+schedule — timeouts, store puts/gets, cancels, exotic priorities,
+same-instant ties — through both kernels and asserts the traces and
+final store states are identical.  The compaction tests pin the
+lazy-delete contract: cancelling most of a deep pending set keeps the
+queue (and the store waiter lists) bounded instead of accumulating
+tombstones.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import (
+    CANCELLED,
+    SCHEDULER_ENV_VAR,
+    SCHEDULERS,
+    Environment,
+    Store,
+)
+
+KERNELS = ("heap", "wheel")
+
+#: One program step: (opcode, delay-in-eighths, operand).
+_OP = st.tuples(st.integers(0, 6), st.integers(0, 24),
+                st.integers(0, 5))
+
+
+def _run_program(ops, scheduler):
+    """Interpret *ops* on a fresh kernel; returns (trace, state).
+
+    The trace appends one entry per fired waiter in callback order,
+    so comparing traces compares the kernel's fire order exactly.
+    """
+    env = Environment(scheduler=scheduler)
+    store = Store(env, capacity=3)
+    trace = []
+    timeouts = []
+    gets = []
+
+    def waiter(tag, ev):
+        value = yield ev
+        trace.append((tag, round(env.now, 9), value))
+
+    def driver():
+        for i, (op, delay, operand) in enumerate(ops):
+            d = delay / 8.0
+            if op == 0:      # plain timeout (NORMAL priority)
+                t = env.timeout(d, value=i)
+                timeouts.append(t)
+                env.process(waiter(f"t{i}", t))
+            elif op == 1:    # now-event chain (URGENT priority)
+                ev = env.event()
+                env.process(waiter(f"u{i}", ev))
+                ev.succeed(i)
+            elif op == 2:    # store put (may pend when full)
+                env.process(waiter(f"p{i}", store.put(i)))
+            elif op == 3:    # store get (may pend when empty)
+                g = store.get()
+                gets.append(g)
+                env.process(waiter(f"g{i}", g))
+            elif op == 4:    # cancel an outstanding timeout
+                if timeouts:
+                    t = timeouts.pop(operand % len(timeouts))
+                    if not t._processed:
+                        env.cancel(t)
+            elif op == 5:    # cancel an outstanding store get
+                if gets:
+                    store.cancel(gets.pop(operand % len(gets)))
+            elif op == 6:    # exotic priority, behind NORMAL ties
+                ev = env.event()
+                ev._value = i
+                ev._ok = True
+                env.process(waiter(f"x{i}", ev))
+                env.schedule(ev, priority=2 + operand, delay=d)
+            if operand == 0 and d > 0.0:
+                yield env.timeout(d / 2.0)   # advance the clock
+        trace.append(("driver-done", round(env.now, 9), None))
+
+    env.process(driver())
+    env.run()
+    state = (list(store.items), env._seq, round(env.now, 9),
+             sum(1 for g in gets if g._value is CANCELLED))
+    return trace, state
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_OP, min_size=1, max_size=40))
+def test_property_dual_kernel_identical(ops):
+    """One schedule, two kernels, identical fire order and state."""
+    heap_trace, heap_state = _run_program(ops, "heap")
+    wheel_trace, wheel_state = _run_program(ops, "wheel")
+    assert heap_trace == wheel_trace
+    assert heap_state == wheel_state
+
+
+@pytest.mark.parametrize("scheduler", KERNELS)
+def test_cancel_heavy_timeouts_stay_compacted(scheduler):
+    """The serve pattern — most deadline timers are cancelled by
+    completion — must not accumulate tombstones in the queue."""
+    env = Environment(scheduler=scheduler)
+    fired = []
+
+    def main():
+        survivor = env.timeout(500.0, value="survivor")
+        doomed = [env.timeout(100.0 + i * 1e-4) for i in range(5000)]
+        for t in doomed:
+            env.cancel(t)
+        # Lazy delete compacts once tombstones outnumber live
+        # entries: the 5000 cancelled timers must not linger.
+        depth = (len(env._queue) if env._wheel is None
+                 else len(env._wheel))
+        assert depth < 100
+        fired.append((yield survivor))
+
+    env.run(until=env.process(main()))
+    assert fired == ["survivor"]
+    assert env.now == 500.0
+
+
+@pytest.mark.parametrize("scheduler", KERNELS)
+def test_cancelled_timeout_never_fires(scheduler):
+    env = Environment(scheduler=scheduler)
+    fired = []
+
+    def waiter(ev):
+        fired.append((yield ev))
+
+    def main():
+        doomed = env.timeout(1.0, value="doomed")
+        env.process(waiter(doomed))
+        yield env.timeout(0.5)   # the waiter is subscribed by now
+        env.cancel(doomed)
+        fired.append((yield env.timeout(2.0, value="kept")))
+        env.cancel(doomed)       # double-cancel is a no-op
+
+    env.run(until=env.process(main()))
+    assert fired == ["kept"]
+
+
+@pytest.mark.parametrize("scheduler", KERNELS)
+def test_cancel_heavy_store_gets_stay_compacted(scheduler):
+    """Store-side lazy delete: cancelled getters are tombstoned in
+    O(1) and compacted away, and a cancelled get never steals."""
+    env = Environment(scheduler=scheduler)
+    store = Store(env)
+    gets = [store.get() for _ in range(4000)]
+    for g in gets[1:]:
+        store.cancel(g)
+    assert len(store._getters) < 100
+    received = []
+
+    def main():
+        yield store.put("item")
+        received.append(gets[0].value)
+
+    env.run(until=env.process(main()))
+    assert received == ["item"]
+    assert all(g.value is CANCELLED for g in gets[1:])
+
+
+def test_store_cancel_rejects_foreign_events():
+    env = Environment()
+    store = Store(env)
+    with pytest.raises(SimulationError):
+        store.cancel(env.event())
+
+
+def test_scheduler_registry_and_validation():
+    assert set(SCHEDULERS) == {"heap", "wheel"}
+    with pytest.raises(SimulationError):
+        Environment(scheduler="splay-tree")
+
+
+def test_scheduler_env_var_default(monkeypatch):
+    monkeypatch.setenv(SCHEDULER_ENV_VAR, "wheel")
+    assert Environment()._wheel is not None
+    monkeypatch.setenv(SCHEDULER_ENV_VAR, "heap")
+    assert Environment()._wheel is None
+    # Explicit argument wins over the environment.
+    monkeypatch.setenv(SCHEDULER_ENV_VAR, "heap")
+    assert Environment(scheduler="wheel")._wheel is not None
+
+
+@pytest.mark.parametrize("scheduler", KERNELS)
+def test_far_future_and_past_events_fire_in_order(scheduler):
+    """Overflow heap coverage: events far beyond the wheel horizon
+    and same-instant re-schedules keep global order."""
+    env = Environment(scheduler=scheduler)
+    fired = []
+
+    def waiter(tag, ev):
+        yield ev
+        fired.append((tag, env.now))
+
+    env.process(waiter("near", env.timeout(0.001)))
+    env.process(waiter("far", env.timeout(1e6)))
+    env.process(waiter("mid", env.timeout(42.0)))
+    env.run()
+    assert fired == [("near", 0.001), ("mid", 42.0), ("far", 1e6)]
