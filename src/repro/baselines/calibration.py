@@ -36,6 +36,19 @@ from repro.errors import SimulationError
 REFERENCE_GOOGLENET_MACS = 1_602_722_536
 
 
+def mac_scale(macs: int) -> float:
+    """Timing scale of a workload relative to paper-scale GoogLeNet.
+
+    The host latency models are calibrated on the full network;
+    latency scales linearly in MAC count, so a network *slice* (the
+    front or back half of a split placement) runs at this fraction of
+    the calibrated times.
+    """
+    if macs < 0:
+        raise SimulationError(f"macs must be >= 0, got {macs}")
+    return macs / REFERENCE_GOOGLENET_MACS
+
+
 @dataclass(frozen=True)
 class BatchLatencyModel:
     """Amdahl-style per-image latency model, anchored at batch 1 and 8."""

@@ -13,10 +13,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.baselines.calibration import (
-    REFERENCE_GOOGLENET_MACS,
-    BatchLatencyModel,
-)
+from repro.baselines.calibration import BatchLatencyModel, mac_scale
 from repro.errors import SimulationError
 from repro.nn.graph import Network
 from repro.numerics.quant import PrecisionPolicy
@@ -43,8 +40,7 @@ class InferenceDevice:
         self.latency_model = latency_model
         self.functional = functional
         #: Latency scales with workload size relative to paper GoogLeNet.
-        self.mac_scale = (network.total_macs(1)
-                          / REFERENCE_GOOGLENET_MACS)
+        self.mac_scale = mac_scale(network.total_macs(1))
         #: Relative std-dev of per-batch latency noise (testbed noise
         #: model; 0 keeps the simulation deterministic).
         self.jitter = float(jitter)

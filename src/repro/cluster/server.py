@@ -738,6 +738,13 @@ class ClusterServer:
             del self._owned[request.request_id]
             self._outstanding[host.name] -= 1
             request.reset_for_reshard()
+        obs = self._env.obs
+        if stranded and obs is not None:
+            # The dead host's ledger gauge must follow the drain to
+            # zero, or it reads as permanent backlog ever after.
+            obs.metrics.gauge(
+                f"cluster.outstanding.{host.name}").set(
+                    self._outstanding[host.name])
         done = self._drain_done.get(host.name)
         if done is not None and not done.triggered:
             done.succeed()

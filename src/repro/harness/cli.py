@@ -125,6 +125,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  chaos-run    seeded fault-injection sweep (kill stick k)")
     print("  serve-run    open-loop serving run with an SLO report")
     print("  serve-sweep  max sustainable arrival rate per config")
+    print("  split-sweep  Pareto map of two-tier layer-cut "
+          "placements")
     print("  cluster-run  sharded multi-host serving run (MPI sim)")
     print("  cluster-sweep  max sustainable rate per cluster size")
     print("  autoscale-run  elastic cluster run under a diurnal day")
@@ -390,11 +392,42 @@ def _cmd_chaos_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_split_token(token: str):
+    """Parse a split token like ``vpu4+cpu`` into (front, back, sticks).
+
+    Exactly one side must be the VPU; the other a host tier.  Returns
+    None (after printing the error) on a malformed token.
+    """
+    def side(part: str):
+        if part in ("cpu", "gpu"):
+            return part, None
+        if part == "vpu":
+            return "vpu", 1
+        if part.startswith("vpu") and part[3:].isdigit():
+            return "vpu", int(part[3:])
+        return None, None
+
+    parts = token.split("+")
+    if len(parts) != 2:
+        print(f"split spec {token!r} must be <front>+<back>")
+        return None
+    (front, n_front), (back, n_back) = side(parts[0]), side(parts[1])
+    if front is None or back is None or \
+            (front == "vpu") == (back == "vpu"):
+        print(f"split spec {token!r} needs exactly one vpu side and "
+              "one of cpu/gpu (e.g. vpu4+cpu, cpu+vpu2)")
+        return None
+    return front, back, (n_front if n_front is not None else n_back)
+
+
 def _serve_targets(spec: str, *, fault_plan=None, call_timeout=None):
     """Build named targets from a spec like ``vpu8`` or ``vpu4,cpu``.
 
-    Tokens: ``cpu``, ``gpu``, ``vpuN`` (N sticks, 1-8).  All targets
-    run timing-only (non-functional) on the paper-scale GoogLeNet.
+    Tokens: ``cpu``, ``gpu``, ``vpuN`` (N sticks, 1-8), or a split
+    placement ``<front>+<back>`` with exactly one VPU side
+    (``vpu4+cpu``, ``cpu+vpu2``) — the latency-optimal cut of the
+    paper network pipelined across the two tiers.  All targets run
+    timing-only (non-functional) on the paper-scale GoogLeNet.
     A fault plan / call timeout applies to every VPU token.
     """
     from repro.harness.experiment import (
@@ -414,6 +447,16 @@ def _serve_targets(spec: str, *, fault_plan=None, call_timeout=None):
         elif token == "gpu":
             targets[token] = NvGPU(paper_timing_network(),
                                    functional=False)
+        elif "+" in token:
+            from repro.split import build_split_target
+            parsed = _parse_split_token(token)
+            if parsed is None:
+                return None
+            front, back, sticks = parsed
+            targets[token] = build_split_target(
+                paper_timing_network(), graph=paper_timing_graph(),
+                front=front, back=back, num_sticks=sticks,
+                functional=False)
         elif token.startswith("vpu") and token[3:].isdigit():
             targets[token] = IntelVPU(
                 graph=paper_timing_graph(),
@@ -421,12 +464,48 @@ def _serve_targets(spec: str, *, fault_plan=None, call_timeout=None):
                 fault_plan=fault_plan, call_timeout=call_timeout)
         else:
             print(f"--backends: unknown token {token!r} "
-                  "(expected cpu, gpu or vpuN)")
+                  "(expected cpu, gpu, vpuN or front+back)")
             return None
     if not targets:
         print("--backends: no targets given")
         return None
     return targets
+
+
+def _cmd_split_sweep(args: argparse.Namespace) -> int:
+    """Map the split-placement design space of one device pairing."""
+    from repro.split import (
+        SplitPlanner,
+        render_split_table,
+        single_device_points,
+    )
+
+    parsed = _parse_split_token(args.devices)
+    if parsed is None:
+        return 1
+    front, back, sticks = parsed
+    if args.smoke:
+        from repro.nn.zoo import get_model
+        from repro.vpu.compiler.compile import compile_graph
+        network = get_model("googlenet-micro")
+        graph = compile_graph(network)
+    else:
+        from repro.harness.experiment import (
+            paper_timing_graph,
+            paper_timing_network,
+        )
+        network = paper_timing_network()
+        graph = paper_timing_graph()
+    planner = SplitPlanner(network, graph=graph, front=front,
+                           back=back, num_sticks=sticks)
+    plans = planner.sweep()
+    if not plans:
+        print(f"split-sweep: {network.name} has no valid cuts")
+        return 1
+    singles = single_device_points(network, graph, num_sticks=sticks)
+    print(render_split_table(plans, singles,
+                             objective=args.objective), end="")
+    return 0
 
 
 def _serve_workload(args: argparse.Namespace):
@@ -1453,6 +1532,23 @@ def build_parser() -> argparse.ArgumentParser:
              "(results identical to --jobs 1)")
     serve_sweep.set_defaults(requests=200)
 
+    split_sweep = sub.add_parser(
+        "split-sweep",
+        help="map the latency/throughput/energy frontier of every "
+             "two-tier layer cut")
+    split_sweep.add_argument(
+        "--devices", default="vpu1+cpu",
+        help="placement pair <front>+<back> with exactly one vpu "
+             "side (default vpu1+cpu)")
+    split_sweep.add_argument(
+        "--objective", default="latency",
+        choices=["latency", "throughput", "energy"],
+        help="objective of the best-cut line (default latency)")
+    split_sweep.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized model (googlenet-micro) instead of the "
+             "paper network")
+
     cluster_common = argparse.ArgumentParser(add_help=False)
     cluster_common.add_argument(
         "--host-backends", default="vpu2", metavar="SPEC",
@@ -1761,6 +1857,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve_run(args)
     if args.command == "serve-sweep":
         return _cmd_serve_sweep(args)
+    if args.command == "split-sweep":
+        return _cmd_split_sweep(args)
     if args.command == "cluster-run":
         return _cmd_cluster_run(args)
     if args.command == "cluster-sweep":

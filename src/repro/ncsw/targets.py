@@ -28,6 +28,29 @@ from repro.vpu.compiler.compile import CompiledGraph, compile_graph
 from repro.vpu.myriad2 import Myriad2Config
 
 
+def record_from_probs(item: WorkItem, flat: Optional[np.ndarray],
+                      device: str, t_submit: float,
+                      t_complete: float) -> InferenceRecord:
+    """Build one :class:`InferenceRecord` from a probability vector.
+
+    ``flat`` is the item's flattened class distribution (None for
+    timing-only runs, leaving the prediction fields unset).  Shared by
+    the host targets and the split-execution target so every backend
+    reports predictions identically.
+    """
+    predicted = confidence = topk = None
+    if flat is not None:
+        predicted = int(flat.argmax())
+        confidence = float(flat[predicted])
+        k = min(5, flat.size)
+        order = np.argpartition(flat, -k)[-k:]
+        topk = tuple(int(i) for i in order[np.argsort(-flat[order])])
+    return InferenceRecord(
+        index=item.index, image_id=item.image_id, label=item.label,
+        predicted=predicted, confidence=confidence, device=device,
+        t_submit=t_submit, t_complete=t_complete, topk=topk)
+
+
 class TargetDevice:
     """Abstract target: prepare once, then process batches."""
 
@@ -132,20 +155,9 @@ class _HostTarget(TargetDevice):
                                      track=self.name)
         records = []
         for pos, item in enumerate(items):
-            predicted = confidence = topk = None
-            if probs is not None:
-                flat = probs[pos].ravel()
-                predicted = int(flat.argmax())
-                confidence = float(flat[predicted])
-                k = min(5, flat.size)
-                order = np.argpartition(flat, -k)[-k:]
-                topk = tuple(
-                    int(i) for i in order[np.argsort(-flat[order])])
-            records.append(InferenceRecord(
-                index=item.index, image_id=item.image_id,
-                label=item.label, predicted=predicted,
-                confidence=confidence, device=self.name,
-                t_submit=t0, t_complete=self._env.now, topk=topk))
+            flat = probs[pos].ravel() if probs is not None else None
+            records.append(record_from_probs(
+                item, flat, self.name, t0, self._env.now))
         return records
 
 

@@ -114,8 +114,15 @@ class Network:
         self.infer_shapes()
 
     # -- cost model --------------------------------------------------------
-    def layer_costs(self, batch: int = 1) -> list[LayerCost]:
-        """Static cost table (MACs, bytes) for every layer."""
+    def layer_costs(self, batch: int = 1,
+                    bytes_per_element: int = 4) -> list[LayerCost]:
+        """Static cost table (MACs, bytes) for every layer.
+
+        ``bytes_per_element`` sets the storage precision the byte
+        columns are quoted at (4 for FP32 hosts, 2 for the FP16 VPU
+        tier), so ``sum(c.param_bytes ...)`` always agrees with
+        :meth:`total_param_bytes` at the same precision.
+        """
         shapes = self.infer_shapes(batch)
         costs = []
         for layer in self.layers:
@@ -124,8 +131,9 @@ class Network:
                 name=layer.name,
                 type_name=layer.type_name(),
                 macs=layer.macs(inputs),
-                param_bytes=layer.param_bytes(),
-                activation_bytes=layer.activation_bytes(inputs),
+                param_bytes=layer.param_bytes(bytes_per_element),
+                activation_bytes=layer.activation_bytes(
+                    inputs, bytes_per_element),
             ))
         return costs
 
@@ -239,10 +247,12 @@ class Network:
                 f"input shape {x.shape[1:]} != network geometry "
                 f"({expected.c}, {expected.h}, {expected.w})")
 
-        if policy.layer_filter is None:
+        if policy.quantize_input_blob:
             # Host-side FP16 input conversion (the OpenEXR step); the
             # per-layer ablation policies keep the input in FP32 so
-            # only the selected layers contribute drift.
+            # only the selected layers contribute drift, and the back
+            # half of a split network keeps its input (the cut blob)
+            # exactly as the front half produced it.
             x = policy.quantize_activation_array(x)
         blobs: dict[str, np.ndarray] = {self.input_blob: x}
         captured: dict[str, np.ndarray] = {}

@@ -60,6 +60,15 @@ class PrecisionPolicy:
         in this set — the knob behind the per-layer precision
         ablation (which layers contribute the FP16 drift).  ``None``
         means every layer.
+    quantize_input:
+        Whether the network input blob is rounded at entry (the
+        host-side FP16 conversion).  ``None`` keeps the historical
+        derivation — quantise the input exactly when no
+        ``layer_filter`` is set — while ``True``/``False`` override
+        it.  Split execution needs the override: the front half of a
+        cut network quantises its input like the monolithic run,
+        while the back half must accept the cut blob exactly as the
+        front produced it.
     """
 
     precision: Precision
@@ -67,6 +76,7 @@ class PrecisionPolicy:
     quantize_activations: bool
     accumulate_fp32: bool = True
     layer_filter: frozenset[str] | None = None
+    quantize_input: bool | None = None
 
     @staticmethod
     def fp32() -> "PrecisionPolicy":
@@ -83,6 +93,15 @@ class PrecisionPolicy:
         """FP16 policy restricted to the named layers (ablation)."""
         return PrecisionPolicy(Precision.FP16, True, True,
                                layer_filter=frozenset(layers))
+
+    @property
+    def quantize_input_blob(self) -> bool:
+        """Whether the network input is rounded at entry."""
+        if not self.quantize_activations:
+            return False
+        if self.quantize_input is None:
+            return self.layer_filter is None
+        return self.quantize_input
 
     def applies_to(self, layer_name: str) -> bool:
         """Whether quantisation applies to the named layer."""

@@ -50,6 +50,8 @@ _INTERVAL_LABELS = {
     "dequeued": "queued",
     "dispatched": "batched",
     "device_submit": "dispatch",
+    "split_front_done": "front_half",
+    "split_xfer_done": "cut_xfer",
     "device_done": "compute",
     "completed": "return",
 }

@@ -162,7 +162,13 @@ class Backend:
                            if r.request_id not in by_id]
                 now = self.env.now
                 if completed:
-                    per_request = (now - t0) / len(batch)
+                    # Average over the requests actually served: a
+                    # batch that lost its tail to stick deaths spent
+                    # the same wall time on fewer completions, so
+                    # dividing by the full batch size would report a
+                    # degrading backend as *faster* — and latency-ewma
+                    # routing would steer more load at it.
+                    per_request = (now - t0) / len(completed)
                     self.ewma_latency = (
                         per_request if self.ewma_latency is None
                         else alpha * per_request
@@ -183,7 +189,19 @@ class Backend:
                         f"{self.name}").set(self.outstanding)
                 router.on_batch_done(self, completed, missing)
         except Interrupt:
-            return  # halted: host died, batch ownership reverts
+            # Halted: host died, batch ownership reverts to the
+            # caller's ledger (the cluster frontend re-shards).  This
+            # backend will never serve again, so its queued +
+            # in-flight count is no longer meaningful — zero both the
+            # counter and the gauge, otherwise the stale value
+            # pollutes timelines and the queue-depth-slope alert for
+            # the rest of the session.
+            self.outstanding = 0
+            if obs is not None:
+                obs.metrics.gauge(
+                    f"{self.metrics_prefix}.outstanding."
+                    f"{self.name}").set(0)
+            return
 
 
 class Router:

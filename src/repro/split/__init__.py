@@ -1,0 +1,44 @@
+"""Split inference across device tiers (repro.split).
+
+Cost-based layer partitioning of a network between the VPU and a host
+tier, pipelined execution of the two halves, and the sweep/reporting
+machinery that maps the placement design space against the paper's
+single-device numbers.
+"""
+
+from repro.split.partition import (
+    CutPoint,
+    enumerate_cuts,
+    half_policies,
+    split_network,
+)
+from repro.split.plan import (
+    DevicePoint,
+    SplitPlan,
+    SplitPlanner,
+    dominating_plans,
+    pareto_indices,
+    single_device_points,
+    usb_seconds,
+    vpu_layer_seconds,
+)
+from repro.split.report import render_split_table
+from repro.split.target import SplitTarget, build_split_target
+
+__all__ = [
+    "CutPoint",
+    "DevicePoint",
+    "SplitPlan",
+    "SplitPlanner",
+    "SplitTarget",
+    "build_split_target",
+    "dominating_plans",
+    "enumerate_cuts",
+    "half_policies",
+    "pareto_indices",
+    "render_split_table",
+    "single_device_points",
+    "split_network",
+    "usb_seconds",
+    "vpu_layer_seconds",
+]

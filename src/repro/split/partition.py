@@ -1,0 +1,138 @@
+"""Layer-boundary partitioning of a network across device tiers.
+
+A *cut point* splits the ordered layer list after index ``k`` into a
+front half and a back half that execute on different devices, with the
+single crossing activation blob shipped over the connecting channel
+(USB for a VPU endpoint).  Only boundaries where exactly one blob
+crosses are valid: a multi-blob frontier (the interior of a GoogLeNet
+inception module, say) would need a multi-tensor wire protocol the NCS
+stack does not have, and the paper's pipeline model assumes one blob
+per hop.
+
+:func:`split_network` materialises the halves as two ordinary
+:class:`~repro.nn.graph.Network` objects sharing the original layer
+instances (and therefore weights), so the whole capture / fusion /
+precision machinery applies unchanged to each half.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.nn.graph import Network
+from repro.numerics.quant import PrecisionPolicy
+
+
+@dataclass(frozen=True)
+class CutPoint:
+    """A valid split boundary: after layer ``index``, blob ``blob``."""
+
+    #: Index of the last front-half layer in ``network.layers``.
+    index: int
+    #: The single activation blob crossing the boundary.
+    blob: str
+    #: Names of the front-half layers, in execution order.
+    front_names: tuple[str, ...]
+    #: Names of the back-half layers, in execution order.
+    back_names: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"after {self.front_names[-1]} ({self.blob})"
+
+
+def _crossing_blobs(network: Network, index: int,
+                    produced_front: set[str]) -> set[str]:
+    """Blobs the back half reads from the front half for a cut at
+    *index*.
+
+    The subtlety is in-place layers: an in-place ReLU in the back half
+    *re-produces* a blob name the front half also produced, so later
+    back-half consumers of that name read the local (back-half) value,
+    not a crossing one.  Walking the back half in execution order with
+    a ``local`` produced-set handles this exactly.
+    """
+    crossing: set[str] = set()
+    local: set[str] = set()
+    for layer in network.layers[index + 1:]:
+        for bottom in layer.bottoms:
+            if bottom in local:
+                continue
+            if bottom in produced_front or bottom == network.input_blob:
+                crossing.add(bottom)
+        local.update(layer.tops)
+    return crossing
+
+
+def enumerate_cuts(network: Network) -> list[CutPoint]:
+    """All valid cut points of *network*, in layer order.
+
+    A boundary after layer ``k`` is valid iff exactly one blob crosses
+    it and that blob is not the network input (a back half that reads
+    the raw input would bypass the front entirely).
+    """
+    layers = network.layers
+    cuts: list[CutPoint] = []
+    produced: set[str] = set()
+    for k in range(len(layers) - 1):
+        produced.update(layers[k].tops)
+        crossing = _crossing_blobs(network, k, produced)
+        if len(crossing) != 1:
+            continue
+        blob = next(iter(crossing))
+        if blob == network.input_blob:
+            continue
+        cuts.append(CutPoint(
+            index=k,
+            blob=blob,
+            front_names=tuple(l.name for l in layers[:k + 1]),
+            back_names=tuple(l.name for l in layers[k + 1:])))
+    return cuts
+
+
+def split_network(network: Network,
+                  cut: CutPoint) -> tuple[Network, Network]:
+    """Materialise the two halves of *network* at *cut*.
+
+    The halves share the original :class:`~repro.nn.layer.Layer`
+    instances, so weight initialisation or mutation on one network is
+    visible in the other — exactly what split execution wants.
+    """
+    layers = network.layers
+    if not 0 <= cut.index < len(layers) - 1:
+        raise GraphError(
+            f"cut index {cut.index} out of range for "
+            f"{len(layers)}-layer network {network.name!r}")
+    if tuple(l.name for l in layers[:cut.index + 1]) != cut.front_names:
+        raise GraphError(
+            f"cut {cut} does not match network {network.name!r}")
+    shapes = network.infer_shapes()
+    front = Network(f"{network.name}.front", network.input_blob,
+                    network.input_shape)
+    for layer in layers[:cut.index + 1]:
+        front.add(layer)
+    if cut.blob not in {top for l in front.layers for top in l.tops}:
+        raise GraphError(
+            f"cut blob {cut.blob!r} is not produced by the front half")
+    back = Network(f"{network.name}.back", cut.blob, shapes[cut.blob])
+    for layer in layers[cut.index + 1:]:
+        back.add(layer)
+    return front, back
+
+
+def half_policies(
+        policy: PrecisionPolicy
+) -> tuple[PrecisionPolicy, PrecisionPolicy]:
+    """Front/back precision policies matching monolithic *policy*.
+
+    The front half runs *policy* unchanged.  The back half runs
+    *policy* with input quantisation forced off: its input is the cut
+    blob, which the front half already rounded (or deliberately did
+    not), and rounding it again at entry would diverge from the
+    monolithic run whenever the producing layer sits outside the
+    policy's ``layer_filter``.  With this pairing, split execution is
+    bit-identical to ``network.forward(x, policy)`` for every valid
+    cut — the property the split test suite pins down.
+    """
+    return policy, dataclasses.replace(policy, quantize_input=False)

@@ -1,0 +1,326 @@
+"""Cost-based placement planning for split inference.
+
+The planner prices every valid cut of a network against the calibrated
+device timing models:
+
+* **VPU half** — per-layer cycle counts from the real compiler
+  schedule (:func:`repro.vpu.compiler.compile.compile_graph`) at the
+  stick's 600 MHz SHAVE clock, plus the USB transfer of whichever
+  tensor enters or leaves the stick.  A ReLU fused into its producing
+  convolution carries zero cycles of its own — the compiler attributes
+  the fused cycles to the convolution — so a cut that separates a
+  fused pair mis-attributes only the (tiny) rectification time, never
+  the convolution itself.
+* **Host half** — the Amdahl-style :class:`BatchLatencyModel` anchored
+  on the paper's CPU/GPU measurements, scaled by the half's MAC
+  fraction of paper GoogLeNet (:func:`repro.baselines.calibration.mac_scale`).
+* **Link** — the cut blob at FP16 wire precision over one USB 3.0
+  bulk channel (latency + bytes / bandwidth).
+
+Latency is the serial sum of the three stages; pipelined throughput is
+the reciprocal of the slowest stage (front half of request ``k+1``
+overlaps the back half of request ``k``), with the VPU stage divided
+by the stick count — the multi-stick scheduler deals consecutive
+requests to idle sticks.  Energy efficiency divides throughput by the
+summed TDP of both tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.calibration import (
+    CPU_LATENCY,
+    GPU_LATENCY,
+    BatchLatencyModel,
+    mac_scale,
+)
+from repro.errors import SimulationError
+from repro.ncs.usb import USB3_BANDWIDTH_BYTES_S, USB3_LATENCY_S
+from repro.nn.graph import Network
+from repro.power.tdp import DEFAULT_TDP
+from repro.split.partition import CutPoint, enumerate_cuts
+from repro.vpu.compiler.compile import CompiledGraph, compile_graph
+
+#: Wire precision of tensors crossing a VPU endpoint (the NCS protocol
+#: moves FP16).
+WIRE_BYTES_PER_ELEMENT = 2
+
+#: Host latency models and TDP sources by tier name.
+HOST_TIERS: dict[str, BatchLatencyModel] = {
+    "cpu": CPU_LATENCY,
+    "gpu": GPU_LATENCY,
+}
+
+
+def usb_seconds(nbytes: int) -> float:
+    """One bulk transfer over an uncontended USB 3.0 link."""
+    return USB3_LATENCY_S + nbytes / USB3_BANDWIDTH_BYTES_S
+
+
+def vpu_layer_seconds(graph: CompiledGraph) -> dict[str, float]:
+    """Per-layer stick compute time from the compiler schedule.
+
+    Fused ReLUs appear with 0.0 — their cycles live in the producing
+    convolution's schedule entry.
+    """
+    seconds: dict[str, float] = {}
+    for sched in graph.layers:
+        seconds[sched.name] = sched.timing.total_cycles / graph.freq_hz
+        if sched.fused is not None:
+            seconds[sched.fused] = 0.0
+    return seconds
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """One priced placement: a cut plus its stage timing and power."""
+
+    model: str
+    front_device: str  # "vpu" | "cpu" | "gpu"
+    back_device: str
+    num_sticks: int
+    cut: CutPoint
+    #: Bytes of the cut blob at wire precision.
+    cut_bytes: int
+    #: Per-request seconds of each pipeline stage.  The VPU stage
+    #: includes its input or output USB transfer (which the stick's
+    #: double-buffered FIFO overlaps across requests, not within one).
+    front_seconds: float
+    link_seconds: float
+    back_seconds: float
+    front_watts: float
+    back_watts: float
+
+    @property
+    def name(self) -> str:
+        """Routing token, e.g. ``vpu4+cpu``."""
+        def token(device: str) -> str:
+            return (f"vpu{self.num_sticks}" if device == "vpu"
+                    else device)
+        return f"{token(self.front_device)}+{token(self.back_device)}"
+
+    @property
+    def front_parallelism(self) -> int:
+        """Concurrent requests the front stage can hold."""
+        return self.num_sticks if self.front_device == "vpu" else 1
+
+    @property
+    def back_parallelism(self) -> int:
+        """Concurrent requests the back stage can hold."""
+        return self.num_sticks if self.back_device == "vpu" else 1
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end seconds for one request (serial stages)."""
+        return self.front_seconds + self.link_seconds + self.back_seconds
+
+    @property
+    def bottleneck_seconds(self) -> float:
+        """Slowest pipeline stage, accounting for stage parallelism."""
+        return max(self.front_seconds / self.front_parallelism,
+                   self.link_seconds,
+                   self.back_seconds / self.back_parallelism)
+
+    @property
+    def throughput(self) -> float:
+        """Steady-state images/second of the pipelined placement."""
+        return 1.0 / self.bottleneck_seconds
+
+    @property
+    def total_watts(self) -> float:
+        """Summed TDP of both tiers."""
+        return self.front_watts + self.back_watts
+
+    @property
+    def images_per_watt(self) -> float:
+        """Energy efficiency of the placement (Eq. 1 analogue)."""
+        return self.throughput / self.total_watts
+
+
+class SplitPlanner:
+    """Prices every valid cut of a network for one device pairing.
+
+    Exactly one side must be ``"vpu"``; the other is a host tier from
+    :data:`HOST_TIERS`.  The expensive artefacts (compiler schedule,
+    MAC table, blob shapes) are computed once and shared by every
+    :meth:`plan` call.
+    """
+
+    def __init__(self, network: Network, *,
+                 graph: Optional[CompiledGraph] = None,
+                 front: str = "vpu", back: str = "cpu",
+                 num_sticks: int = 1) -> None:
+        sides = (front, back)
+        if sum(1 for s in sides if s == "vpu") != 1:
+            raise SimulationError(
+                f"exactly one side must be 'vpu', got {front}+{back}")
+        host = back if front == "vpu" else front
+        if host not in HOST_TIERS:
+            raise SimulationError(
+                f"unknown host tier {host!r}; known: "
+                f"{sorted(HOST_TIERS)}")
+        if not 1 <= num_sticks <= 8:
+            raise SimulationError(
+                f"num_sticks must be in [1, 8], got {num_sticks}")
+        self.network = network
+        self.front = front
+        self.back = back
+        self.host = host
+        self.num_sticks = num_sticks
+        self.graph = graph if graph is not None else compile_graph(
+            network)
+        self._vpu_seconds = vpu_layer_seconds(self.graph)
+        self._macs = {c.name: c.macs for c in network.layer_costs(1)}
+        self._shapes = network.infer_shapes(1)
+        self._host_model = HOST_TIERS[host]
+        self._vpu_watts = DEFAULT_TDP.watts("ncs", num_sticks)
+        self._host_watts = DEFAULT_TDP.watts(host)
+
+    def _vpu_half_seconds(self, names: tuple[str, ...]) -> float:
+        return sum(self._vpu_seconds[n] for n in names)
+
+    def _host_half_seconds(self, names: tuple[str, ...]) -> float:
+        macs = sum(self._macs[n] for n in names)
+        if macs == 0:
+            # A MAC-free half (say, a lone softmax) is below the
+            # timing model's resolution; the calibrated overheads all
+            # scale with MACs, so it prices at zero.
+            return 0.0
+        return self._host_model.per_image_seconds(1, mac_scale(macs))
+
+    def plan(self, cut: CutPoint) -> SplitPlan:
+        """Price one cut."""
+        cut_bytes = self._shapes[cut.blob].nbytes(
+            WIRE_BYTES_PER_ELEMENT)
+        link = usb_seconds(cut_bytes)
+        if self.front == "vpu":
+            input_bytes = self._shapes[
+                self.network.input_blob].nbytes(WIRE_BYTES_PER_ELEMENT)
+            front_s = (usb_seconds(input_bytes)
+                       + self._vpu_half_seconds(cut.front_names))
+            back_s = self._host_half_seconds(cut.back_names)
+            front_w, back_w = self._vpu_watts, self._host_watts
+        else:
+            output_bytes = self._shapes[
+                self.network.output_blob].nbytes(WIRE_BYTES_PER_ELEMENT)
+            front_s = self._host_half_seconds(cut.front_names)
+            back_s = (self._vpu_half_seconds(cut.back_names)
+                      + usb_seconds(output_bytes))
+            front_w, back_w = self._host_watts, self._vpu_watts
+        return SplitPlan(
+            model=self.network.name,
+            front_device=self.front,
+            back_device=self.back,
+            num_sticks=self.num_sticks,
+            cut=cut,
+            cut_bytes=cut_bytes,
+            front_seconds=front_s,
+            link_seconds=link,
+            back_seconds=back_s,
+            front_watts=front_w,
+            back_watts=back_w)
+
+    def sweep(self) -> list[SplitPlan]:
+        """Price every valid cut, in layer order."""
+        return [self.plan(cut) for cut in enumerate_cuts(self.network)]
+
+    def best(self, objective: str = "latency") -> SplitPlan:
+        """The optimal plan under an objective (ties: earliest cut)."""
+        plans = self.sweep()
+        if not plans:
+            raise SimulationError(
+                f"network {self.network.name!r} has no valid cuts")
+        if objective == "latency":
+            return min(plans, key=lambda p: (p.latency_seconds,
+                                             p.cut.index))
+        if objective == "throughput":
+            return min(plans, key=lambda p: (-p.throughput,
+                                             p.cut.index))
+        if objective == "energy":
+            return min(plans, key=lambda p: (-p.images_per_watt,
+                                             p.cut.index))
+        raise SimulationError(
+            f"unknown objective {objective!r}; choose latency, "
+            f"throughput or energy")
+
+
+@dataclass(frozen=True)
+class DevicePoint:
+    """A single-device reference placement for the Pareto comparison."""
+
+    device: str
+    latency_seconds: float
+    throughput: float
+    watts: float
+
+    @property
+    def images_per_watt(self) -> float:
+        """Energy efficiency of the single-device placement."""
+        return self.throughput / self.watts
+
+
+def single_device_points(network: Network, graph: CompiledGraph,
+                         num_sticks: int = 1) -> list[DevicePoint]:
+    """The paper's monolithic placements of *network*, priced the same
+    way the split planner prices halves.
+
+    Host latency is quoted at batch 1 (the latency-critical setting)
+    and host throughput at batch 16, matching the paper's Fig. 8b
+    projection.  VPU throughput scales linearly in sticks — each stick
+    runs the whole network on its own requests.
+    """
+    scale = mac_scale(network.total_macs(1))
+    points = []
+    for host, model in sorted(HOST_TIERS.items()):
+        points.append(DevicePoint(
+            device=host,
+            latency_seconds=model.per_image_seconds(1, scale),
+            throughput=model.throughput(16, scale),
+            watts=DEFAULT_TDP.watts(host)))
+    vpu_latency = (usb_seconds(graph.input_tensor_bytes)
+                   + graph.inference_seconds
+                   + usb_seconds(graph.output_tensor_bytes))
+    for n in sorted({1, num_sticks}):
+        points.append(DevicePoint(
+            device=f"vpu{n}",
+            latency_seconds=vpu_latency,
+            throughput=n / graph.inference_seconds,
+            watts=DEFAULT_TDP.watts("ncs", n)))
+    return points
+
+
+def pareto_indices(plans: list[SplitPlan]) -> set[int]:
+    """Indices of plans on the (latency, throughput, img/W) frontier."""
+    frontier: set[int] = set()
+    for i, p in enumerate(plans):
+        dominated = any(
+            q.latency_seconds <= p.latency_seconds
+            and q.throughput >= p.throughput
+            and q.images_per_watt >= p.images_per_watt
+            and (q.latency_seconds < p.latency_seconds
+                 or q.throughput > p.throughput
+                 or q.images_per_watt > p.images_per_watt)
+            for q in plans)
+        if not dominated:
+            frontier.add(i)
+    return frontier
+
+
+def dominating_plans(plans: list[SplitPlan],
+                     singles: list[DevicePoint]
+                     ) -> tuple[Optional[DevicePoint], list[SplitPlan]]:
+    """Split plans that strictly beat the worst single device.
+
+    Returns the worst single-device placement by latency, plus every
+    plan with strictly lower latency at no loss of throughput — the
+    paper-level claim the split sweep is built to check.
+    """
+    if not singles:
+        return None, []
+    worst = max(singles, key=lambda d: d.latency_seconds)
+    winners = [p for p in plans
+               if p.latency_seconds < worst.latency_seconds
+               and p.throughput >= worst.throughput]
+    return worst, winners

@@ -1,0 +1,86 @@
+"""Deterministic text rendering of a split-placement sweep.
+
+The table maps the full latency/throughput/energy design space of a
+device pairing — every valid cut, its three stage times, and whether
+it sits on the Pareto frontier — against the paper's single-device
+placements, ending with a greppable verdict line on whether the best
+cut strictly dominates the worst single device (lower latency at no
+loss of throughput).  Output is a pure function of the plans, so CI
+can diff two runs byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from repro.split.plan import (
+    DevicePoint,
+    SplitPlan,
+    dominating_plans,
+    pareto_indices,
+)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:10.3f}"
+
+
+def render_split_table(plans: list[SplitPlan],
+                       singles: list[DevicePoint],
+                       objective: str = "latency") -> str:
+    """Render the sweep, reference points and dominance verdict."""
+    lines: list[str] = []
+    if not plans:
+        return "split placement sweep: no valid cuts\n"
+    head = plans[0]
+    lines.append(
+        f"split placement sweep: {head.model}, {head.name} "
+        f"(front={head.front_device} x{head.front_parallelism}, "
+        f"back={head.back_device} x{head.back_parallelism})")
+    lines.append(
+        f"  {'cut (last front layer)':<28} {'xfer KB':>8} "
+        f"{'front ms':>10} {'link ms':>10} {'back ms':>10} "
+        f"{'e2e ms':>10} {'img/s':>8} {'img/W':>8}  pareto")
+    frontier = pareto_indices(plans)
+    for i, p in enumerate(plans):
+        lines.append(
+            f"  {p.cut.front_names[-1]:<28} "
+            f"{p.cut_bytes / 1024:8.1f} "
+            f"{_ms(p.front_seconds)} {_ms(p.link_seconds)} "
+            f"{_ms(p.back_seconds)} {_ms(p.latency_seconds)} "
+            f"{p.throughput:8.1f} {p.images_per_watt:8.2f}"
+            f"  {'*' if i in frontier else '-'}")
+    lines.append("")
+    lines.append("single-device placements:")
+    lines.append(
+        f"  {'device':<28} {'e2e ms':>10} {'img/s':>8} {'img/W':>8}")
+    for d in singles:
+        lines.append(
+            f"  {d.device:<28} {_ms(d.latency_seconds)} "
+            f"{d.throughput:8.1f} {d.images_per_watt:8.2f}")
+    lines.append("")
+
+    if objective == "latency":
+        best = min(plans, key=lambda p: (p.latency_seconds,
+                                         p.cut.index))
+    elif objective == "throughput":
+        best = min(plans, key=lambda p: (-p.throughput, p.cut.index))
+    else:
+        best = min(plans, key=lambda p: (-p.images_per_watt,
+                                         p.cut.index))
+    lines.append(
+        f"best cut ({objective}): after {best.cut.front_names[-1]} "
+        f"[{best.cut.blob}] — "
+        f"{best.latency_seconds * 1e3:.3f} ms, "
+        f"{best.throughput:.1f} img/s, "
+        f"{best.images_per_watt:.2f} img/W")
+    worst, winners = dominating_plans(plans, singles)
+    if worst is not None:
+        lines.append(
+            f"worst single device on latency: {worst.device} "
+            f"({worst.latency_seconds * 1e3:.3f} ms, "
+            f"{worst.throughput:.1f} img/s)")
+        verdict = "yes" if winners else "no"
+        lines.append(
+            f"best cut dominates worst single device: {verdict} "
+            f"({len(winners)}/{len(plans)} cuts at lower latency "
+            f"and >= throughput)")
+    return "\n".join(lines) + "\n"

@@ -202,6 +202,30 @@ def test_kill_is_deterministic(chaos_graph):
             == render_cluster_report(chaos()))
 
 
+def test_killed_host_leaves_no_stale_outstanding_gauge(chaos_graph):
+    """After a host kill every ``*.outstanding.*`` gauge must end at
+    zero (regression: a halted backend's gauge kept the in-flight
+    count forever, polluting timelines and queue-slope alerts)."""
+    from repro.obs import ObsSession
+
+    baseline = _cluster_run(chaos_graph, hosts=4, requests=200,
+                            rate=2000.0)
+    kill_at = (baseline.prepare_seconds
+               + 0.5 * baseline.wall_seconds)
+    obs = ObsSession()
+    server = ClusterServer(_targets(chaos_graph, 4),
+                           slo_seconds=60.0,
+                           host_faults=FaultPlan.kill(1, kill_at),
+                           obs=obs)
+    result = server.run(PoissonWorkload(rate=2000.0, seed=0), 200)
+    assert result.degraded
+    outstanding = [g for g in obs.metrics.gauges()
+                   if ".outstanding." in g.name]
+    assert outstanding, "expected per-backend outstanding gauges"
+    stale = {g.name: g.last for g in outstanding if g.last != 0.0}
+    assert stale == {}
+
+
 def test_killing_every_host_abandons_at_the_frontend(chaos_graph):
     plan = FaultPlan(faults=[
         FaultPlan.kill(0, 0.001).faults[0],

@@ -219,3 +219,51 @@ def test_backend_preferred_batch_size_comes_from_target():
     env = Environment()
     backend = Backend(env, "b", StubTarget(env))
     assert backend.preferred_batch_size == 8  # TargetDevice default
+
+
+def test_partial_batch_ewma_averages_over_served_requests():
+    """A backend that loses most of a batch must not report an
+    optimistically low per-request latency (regression: the batch
+    wall time was divided by the full batch size, so a degrading
+    backend looked *faster* to latency-ewma routing)."""
+    env = Environment()
+    router, backends, completed, _ = _rig(env, num_backends=1,
+                                          max_redirects=0,
+                                          service_s=0.02,
+                                          serve_first=1)
+    reqs = [_request(i) for i in range(4)]
+
+    def scenario():
+        yield router.dispatch(reqs)
+        yield env.timeout(1.0)
+        router.close()
+
+    env.run(until=env.process(scenario()))
+    # One of four requests came back: 0.02 s of wall bought exactly
+    # one completion, so the per-request estimate is 0.02, not 0.005.
+    assert len(completed) == 1
+    assert backends[0].ewma_latency == pytest.approx(0.02)
+
+
+def test_halt_zeroes_outstanding_and_gauge():
+    """Halting a backend mid-batch (host death) must zero both the
+    outstanding counter and its gauge (regression: the Interrupt
+    path returned without either, leaving a permanently non-zero
+    gauge in timelines and the queue-depth-slope alert)."""
+    from repro.obs import ObsSession
+
+    env = ObsSession().attach(Environment())
+    router, backends, _, _ = _rig(env, num_backends=1,
+                                  service_s=0.05)
+    reqs = [_request(i) for i in range(3)]
+
+    def scenario():
+        yield router.dispatch(reqs)
+        yield env.timeout(0.01)  # batch is mid-service
+        backends[0].halt()
+        yield env.timeout(0.2)
+
+    env.run(until=env.process(scenario()))
+    assert backends[0].outstanding == 0
+    gauge = env.obs.metrics.gauge("serve.outstanding.b0")
+    assert gauge.last == 0.0

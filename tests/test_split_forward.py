@@ -1,0 +1,133 @@
+"""Split execution is bit-identical to the monolithic forward.
+
+The load-bearing property of ``repro.split``: for ANY monolithic
+precision policy P and ANY valid cut, running the front half under P
+(capturing the cut blob) and feeding the capture to the back half
+under ``half_policies(P)[1]`` reproduces ``network.forward(x, P)``
+bit for bit — including cuts that separate a convolution from its
+fused in-place ReLU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.zoo import get_model
+from repro.nn.weights import initialize_network
+from repro.numerics.quant import Precision, PrecisionPolicy
+from repro.split import enumerate_cuts, half_policies, split_network
+
+
+@pytest.fixture(scope="module")
+def micro():
+    net = get_model("googlenet-micro")
+    initialize_network(net, seed=0)
+    return net
+
+
+@pytest.fixture(scope="module")
+def batch(micro):
+    rng = np.random.default_rng(42)
+    s = micro.input_shape
+    return rng.standard_normal((2, s.c, s.h, s.w)).astype(np.float32)
+
+
+def _split_forward(net, cut, x, policy):
+    front, back = split_network(net, cut)
+    front_policy, back_policy = half_policies(policy)
+    _, captured = front.forward_with_blobs(
+        x, front_policy, capture=(cut.blob,))
+    return back.forward(captured[cut.blob], back_policy)
+
+
+@pytest.mark.parametrize("policy", [
+    PrecisionPolicy.fp32(),
+    PrecisionPolicy.fp16(),
+], ids=["fp32", "fp16"])
+def test_every_cut_matches_monolithic(micro, batch, policy):
+    expected = micro.forward(batch, policy)
+    cuts = enumerate_cuts(micro)
+    assert len(cuts) >= 10
+    for cut in cuts:
+        got = _split_forward(micro, cut, batch, policy)
+        assert np.array_equal(got, expected), f"cut {cut} diverged"
+
+
+def test_fused_relu_boundary_cuts_exist_and_match(micro, batch):
+    """Cuts that separate a Conv from its in-place ReLU stay exact.
+
+    The monolithic plan fuses the pair into one step; the split plan
+    cannot (they live in different halves).  Fusion is value-exact,
+    so the results must still agree bit-for-bit.
+    """
+    cuts = enumerate_cuts(micro)
+    boundary = [c for c in cuts
+                if c.back_names[0].startswith("relu_")
+                and c.front_names[-1] == c.back_names[0][5:]]
+    assert boundary, "no conv|relu boundary cut found"
+    for policy in (PrecisionPolicy.fp16(), PrecisionPolicy.fp32()):
+        expected = micro.forward(batch, policy)
+        for cut in boundary:
+            got = _split_forward(micro, cut, batch, policy)
+            assert np.array_equal(got, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_split_matches_monolithic_property(data):
+    """Random cut x random layer-filter policy -> bit identity.
+
+    Covers the hard case: policies whose ``layer_filter`` straddles
+    the cut, where the back half must NOT re-quantise the cut blob
+    (its producer may be outside the filter).
+    """
+    net = _property_net()
+    x = _property_batch(net)
+    cuts = enumerate_cuts(net)
+    cut = data.draw(st.sampled_from(cuts), label="cut")
+    names = [l.name for l in net.layers]
+    subset = data.draw(
+        st.sets(st.sampled_from(names), min_size=1), label="filter")
+    quantize_input = data.draw(
+        st.sampled_from([None, True, False]), label="quantize_input")
+    policy = PrecisionPolicy(
+        Precision.FP16, True, True,
+        layer_filter=frozenset(subset),
+        quantize_input=quantize_input)
+
+    expected = net.forward(x, policy)
+    got = _split_forward(net, cut, x, policy)
+    assert np.array_equal(got, expected)
+
+
+# Module-level cache so hypothesis examples share one initialised
+# network and input batch (function-scoped fixtures are off-limits
+# inside @given).
+_CACHE: dict = {}
+
+
+def _property_net():
+    if "net" not in _CACHE:
+        net = get_model("googlenet-micro")
+        initialize_network(net, seed=0)
+        _CACHE["net"] = net
+    return _CACHE["net"]
+
+
+def _property_batch(net):
+    if "x" not in _CACHE:
+        rng = np.random.default_rng(7)
+        s = net.input_shape
+        _CACHE["x"] = rng.standard_normal(
+            (1, s.c, s.h, s.w)).astype(np.float32)
+    return _CACHE["x"]
+
+
+def test_half_policies_disable_back_input_quantisation():
+    front, back = half_policies(PrecisionPolicy.fp16())
+    assert front.quantize_input_blob
+    assert not back.quantize_input_blob
+    assert back.quantize_activations  # layers still round
